@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at a reduced scale
+(so ``pytest benchmarks/ --benchmark-only`` finishes on a laptop) and
+prints the same rows/series the paper reports.  Set ``REPRO_FULL=1``
+to run the experiment harnesses at their larger scales instead; the
+standalone harnesses in :mod:`repro.experiments` accept explicit
+workload lists and request budgets for paper-scale runs.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def bench_scale():
+    """(workload count, requests-per-core) used by the perf benches."""
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        return dict(workloads=None, requests_per_core=20_000)
+    return dict(
+        workloads=["433.milc", "470.lbm", "401.bzip2", "453.povray"],
+        requests_per_core=1_500,
+    )
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table under a banner (visible with -s)."""
+    print(f"\n=== {title} ===")
+    print(body)

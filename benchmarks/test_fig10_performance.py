@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 10 (normalized performance at N_RH=1024)."""
+
+from conftest import emit
+
+from repro.experiments import fig10_performance
+
+
+def test_fig10_normalized_performance(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig10_performance.run(nrh=1024, **bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 10 (paper geomeans: TPRAC 0.966, ABO+ACB 0.993, "
+        "ABO-Only ~1.0)",
+        result.format_table(),
+    )
+    tprac = result.geomean("tprac@1024")
+    acb = result.geomean("abo_acb@1024")
+    abo = result.geomean("abo_only@1024")
+    # Ordering: TPRAC pays the most; ABO-Only essentially free.
+    assert tprac < acb
+    assert abo > 0.995
+    # TPRAC's slowdown within the paper's band (3.4% avg, <= ~9% worst).
+    assert 0.5 <= result.slowdown_pct("tprac@1024") <= 9.0
+    worst = result.worst_workload("tprac@1024")
+    assert worst.normalized > 0.90

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 11 (PRAC-level sensitivity)."""
+
+from conftest import emit
+
+from repro.experiments import fig11_prac_levels
+
+
+def test_fig11_prac_level_insensitivity(benchmark, bench_scale):
+    workloads = bench_scale["workloads"]
+    result = benchmark.pedantic(
+        lambda: fig11_prac_levels.run(
+            nrh=1024,
+            prac_levels=(1, 2, 4),
+            workloads=workloads[:3] if workloads else None,
+            requests_per_core=bench_scale["requests_per_core"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 11 (paper: flat across PRAC-1/2/4; TPRAC 3.4%, "
+        "ABO+ACB 0.7%, ABO-Only ~0%)",
+        result.format_table(),
+    )
+    # Performance is insensitive to the PRAC level for every design
+    # because no design lets ABO-RFMs materialize.
+    for design in ("abo_only", "abo_acb", "tprac"):
+        values = [result.geomean(level, design) for level in (1, 2, 4)]
+        assert max(values) - min(values) < 0.01, design

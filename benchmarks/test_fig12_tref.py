@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 12 (Targeted-Refresh rate sensitivity)."""
+
+from conftest import emit
+
+from repro.experiments import fig12_tref
+
+
+def test_fig12_tref_rates(benchmark, bench_scale):
+    workloads = bench_scale["workloads"]
+    result = benchmark.pedantic(
+        lambda: fig12_tref.run(
+            nrh=1024,
+            tref_rates=(0.0, 0.25, 0.5, 1.0),
+            workloads=workloads[:3] if workloads else None,
+            requests_per_core=bench_scale["requests_per_core"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 12 (paper slowdowns: 3.4% none, 2.4% @1/4, 1.4% @1/2, "
+        "~0% @1/1 tREFI)",
+        result.format_table(),
+    )
+    # More TREFs -> fewer TB-RFMs -> monotonically less slowdown.
+    none = result.geomean(0.0)
+    quarter = result.geomean(0.25)
+    full = result.geomean(1.0)
+    assert none <= quarter + 0.003
+    assert quarter <= full + 0.003
+    assert full > 0.985           # ~zero overhead at 1 TREF per tREFI

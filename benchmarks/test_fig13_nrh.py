@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 13 (N_RH sweep, all designs)."""
+
+from conftest import emit
+
+from repro.experiments import fig13_nrh
+
+
+def test_fig13_nrh_sweep(benchmark, bench_scale):
+    workloads = bench_scale["workloads"]
+    result = benchmark.pedantic(
+        lambda: fig13_nrh.run(
+            nrh_values=(256, 1024, 4096),
+            workloads=workloads[:3] if workloads else None,
+            requests_per_core=bench_scale["requests_per_core"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 13 (paper TPRAC slowdowns: 14.1% @256, 3.4% @1024, "
+        "0.6% @4096)",
+        result.format_table(),
+    )
+    # TPRAC's overhead grows as the threshold drops.
+    slow_256 = result.slowdown_pct(256, "tprac")
+    slow_1024 = result.slowdown_pct(1024, "tprac")
+    slow_4096 = result.slowdown_pct(4096, "tprac")
+    assert slow_256 > slow_1024 > slow_4096
+    # ABO-Only stays near zero at every threshold.
+    for nrh in (256, 1024, 4096):
+        assert result.slowdown_pct(nrh, "abo_only") < 1.0
+    # TPRAC pays more than ABO+ACB at the same threshold (the paper's
+    # price of closing the channel).
+    assert result.slowdown_pct(256, "tprac") >= result.slowdown_pct(256, "abo_acb")

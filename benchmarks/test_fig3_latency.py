@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 3 (ABO-induced latency timelines)."""
+
+from conftest import emit
+
+from repro.experiments import fig3_latency
+
+
+def test_fig3_latency_timelines(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3_latency.run(nbo=256, hammer_rounds=3, duration_ns=300_000),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 3: latency under ABO (paper spikes: 545/976/1669 ns)",
+         result.format_table())
+    one = result.timelines["1 RFM/ABO"].mean_spike_latency()
+    two = result.timelines["2 RFM/ABO"].mean_spike_latency()
+    four = result.timelines["4 RFM/ABO"].mean_spike_latency()
+    assert one < two < four
+    assert result.timelines["No ABO"].abo_count == 0

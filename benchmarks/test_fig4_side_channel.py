@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 4 (AES side-channel attack instance)."""
+
+from conftest import emit
+
+from repro.experiments import fig4_side_channel
+
+
+def test_fig4_attack_instance(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4_side_channel.run(key_byte=0x00, encryptions=200),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 4 (paper: 207 victim acts on Row-0, ABO after 49 "
+        "attacker acts, p0=0, k0=0)",
+        result.format_table(),
+    )
+    attack = result.attack
+    assert attack.success
+    assert attack.trigger_row == 0          # k0=0, p0=0 -> Row-0
+    # Victim hot-row accesses land near 1 per encryption + background.
+    hot = max(attack.victim_histogram.values())
+    assert 180 <= hot <= 300
+    # Combined victim + attacker activations cross N_BO = 256.
+    assert 0 < attack.attacker_acts_on_trigger < 256

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5 (key-byte sweep, no defense)."""
+
+from conftest import emit
+
+from repro.experiments import fig5_key_sweep
+
+
+def test_fig5_key_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5_key_sweep.run(
+            key_values=list(range(0, 256, 32)), encryptions=200
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5 (trigger row tracks k0's top nibble)", result.format_table())
+    assert result.recovery_rate == 1.0
+    # The trigger row moves monotonically with the key nibble.
+    rows = [r.trigger_row for r in result.results]
+    assert rows == sorted(rows)
+    assert rows[0] == 0 and rows[-1] == 14

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 7 (Feinting TMAX vs TB-Window)."""
+
+from conftest import emit
+
+from repro.experiments import fig7_security
+
+
+def test_fig7_tmax_sweep(benchmark):
+    result = benchmark.pedantic(fig7_security.run, rounds=1, iterations=1)
+    emit(
+        "Figure 7 (paper: reset 105/572/2138, no-reset 118/736/3220 at "
+        "0.25/1/4 tREFI)",
+        result.format_table(),
+    )
+    assert result.tmax(0.25, True) == 105
+    assert result.tmax(1.0, True) == 572
+    assert abs(result.tmax(4.0, True) - 2138) <= 1
+    assert result.tmax(0.25, False) == 118
+    assert result.tmax(1.0, False) == 736
+    assert abs(result.tmax(4.0, False) - 3220) <= 1

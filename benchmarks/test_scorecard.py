@@ -1,0 +1,13 @@
+"""Capstone bench: the full reproduction scorecard."""
+
+from conftest import emit
+
+from repro.experiments.scorecard import run
+
+
+def test_reproduction_scorecard(benchmark):
+    card = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Reproduction scorecard (paper claims vs this repo)",
+         card.format_table())
+    assert card.all_passed, card.format_table()
+    assert len(card.checks) >= 10

@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 2 (covert channel period and bitrate)."""
+
+from conftest import emit
+
+from repro.experiments import table2_covert
+
+
+def test_table2_covert_channels(benchmark):
+    result = benchmark.pedantic(
+        lambda: table2_covert.run(
+            nbo_values=(256, 512, 1024), activity_bits=8, count_symbols=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Table 2 (paper: activity 41.4/21.4/10.9 Kbps; "
+        "count 123.6/70.3/38.8 Kbps)",
+        result.format_table(),
+    )
+    # Shape assertions: bitrate halves as N_BO doubles; count > activity.
+    for channel in ("Activity-Based", "Activation-Count-Based"):
+        r256 = result.row(channel, 256).bitrate_kbps
+        r512 = result.row(channel, 512).bitrate_kbps
+        r1024 = result.row(channel, 1024).bitrate_kbps
+        assert r256 > r512 > r1024
+        assert 1.6 < r256 / r512 < 2.4
+    assert (
+        result.row("Activation-Count-Based", 256).bitrate_kbps
+        > 3 * result.row("Activity-Based", 256).bitrate_kbps
+    )
+    # All transmissions decode cleanly (paper: < 0.1% error).
+    assert all(row.error_rate == 0.0 for row in result.rows)

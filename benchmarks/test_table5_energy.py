@@ -1,0 +1,31 @@
+"""Bench: regenerate Table 5 (energy overhead per N_RH)."""
+
+from conftest import emit
+
+from repro.experiments import table5_energy
+
+
+def test_table5_energy_overhead(benchmark, bench_scale):
+    workloads = bench_scale["workloads"]
+    result = benchmark.pedantic(
+        lambda: table5_energy.run(
+            nrh_values=(256, 1024, 4096),
+            workloads=workloads[:2] if workloads else None,
+            requests_per_core=max(2_500, bench_scale["requests_per_core"]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Table 5 (paper totals: 26.1% @256, 7.4% @1024, 1.0% @4096)",
+        result.format_table(),
+    )
+    # Energy overhead grows monotonically as the threshold drops, with
+    # both mitigation and execution-time components contributing.
+    assert (
+        result.by_nrh[256].total_pct
+        > result.by_nrh[1024].total_pct
+        > result.by_nrh[4096].total_pct
+        >= 0.0
+    )
+    assert result.by_nrh[256].mitigation_pct > 0

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""PRACLeak side channel: recover AES key bits through PRAC's ABO.
+
+Reproduces the paper's Section 3.3 attack end to end on the simulated
+system:
+
+1. A victim encrypts attacker-chosen plaintexts with a T-table AES-128
+   (our from-scratch implementation, FIPS-197-verified).
+2. The attacker fixes one plaintext byte and flushes the T-table cache
+   lines, so the hot cache line's DRAM row accumulates ~2x activations.
+3. The attacker probes the 16 candidate rows until the ABO fires; the
+   triggering row reveals the top 4 bits of the key byte.
+
+Repeating over all 16 bytes leaks 64 of the 128 key bits.
+
+Run:  python examples/aes_key_recovery.py           (4 bytes, fast)
+      python examples/aes_key_recovery.py --full    (all 16 bytes)
+"""
+
+import sys
+
+from repro.attacks.side_channel import AesSideChannelAttack
+
+
+def main() -> None:
+    secret_key = bytes.fromhex("3b2a1f0c5b6e9d80c1d2e3f405162738")
+    num_bytes = 16 if "--full" in sys.argv else 4
+
+    attack = AesSideChannelAttack(secret_key, nbo=256, encryptions=200)
+    print(f"attacking {num_bytes} key bytes "
+          f"(N_BO=256, 200 encryptions per byte)\n")
+    print("byte  true-nibble  recovered  victim-hot-acts  attacker-acts")
+
+    recovered_bits = 0
+    for index in range(num_bytes):
+        result = attack.run_single(target_byte=index, fixed_value=0)
+        hot = (
+            max(result.victim_histogram.values())
+            if result.victim_histogram
+            else 0
+        )
+        mark = "OK" if result.success else "MISS"
+        print(f"{index:4d}  {result.true_nibble:11x}  "
+              f"{result.recovered_nibble if result.recovered_nibble is not None else '?':>9}  "
+              f"{hot:15d}  {result.attacker_acts_on_trigger:13d}  {mark}")
+        if result.success:
+            recovered_bits += 4
+
+    print(f"\nrecovered {recovered_bits} of {num_bytes * 4} targeted key bits "
+          f"(the attack leaks the top nibble of each byte: 64 of 128 "
+          f"bits over a full 16-byte sweep)")
+    print("=> the most-activated row's identity leaks through the "
+          "activation-count timing channel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""TPRAC security analysis: Feinting worst case and defense tuning.
+
+Reproduces the paper's analytical machinery (Section 4.2):
+
+1. Figure 7 — the theoretical maximum activations to a target row
+   (TMAX) as the TB-Window varies, with and without per-row counter
+   reset at tREFW.
+2. The TB-Window operating points for each RowHammer threshold.
+3. The obfuscation-defense trade-off from Section 7.1: how much
+   information still leaks per injected-RFM rate.
+
+Run:  python examples/security_analysis.py
+"""
+
+from repro.analysis.feinting import tmax_sweep
+from repro.analysis.obfuscation_analysis import sweep_injection_rates
+from repro.analysis.tb_window import tb_window_for_nrh
+
+
+def main() -> None:
+    print("=== Figure 7: TMAX vs TB-Window (Feinting worst case) ===")
+    print("TB-Window(tREFI)   TMAX w/reset   TMAX w/o reset")
+    sweep = tmax_sweep()
+    for with_r, without_r in zip(sweep["with_reset"], sweep["without_reset"]):
+        print(f"{with_r.tb_window_trefi:16.2f}   {with_r.tmax:12d}   "
+              f"{without_r.tmax:14d}")
+    print("(paper: 105/572/2138 with reset, 118/736/3220 without, "
+          "at 0.25/1/4 tREFI)")
+
+    print("\n=== TB-Window operating points per RowHammer threshold ===")
+    print("N_RH    window(us)   window(tREFI)   TB-RFM bandwidth loss")
+    for nrh in (128, 256, 512, 1024, 2048, 4096):
+        choice = tb_window_for_nrh(nrh)
+        loss = 350.0 / choice.tb_window * 100
+        print(f"{nrh:<8d}{choice.tb_window/1000:9.2f}   "
+              f"{choice.tb_window_trefi:13.2f}   {loss:18.1f}%")
+
+    print("\n=== Section 7.1: obfuscation defense residual leakage ===")
+    print("inject-rate   distinguishability   classifier accuracy")
+    for leak in sweep_injection_rates([0.0, 0.1, 0.25, 0.5, 0.9], windows=64):
+        print(f"{leak.inject_prob:11.2f}   {leak.total_variation:18.3f}   "
+              f"{leak.classifier_accuracy:19.3f}")
+    print("=> random injection dilutes but never eliminates the channel; "
+          "TPRAC removes it entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""RowHammer safety verification.
+
+A mitigation is *safe* when no row's activation counter ever reaches
+the RowHammer threshold N_RH between mitigations — the property both
+PRAC and TPRAC must guarantee.  :class:`SafetyMonitor` attaches to a
+live channel and records the highest counter value any row ever
+reaches, flagging a violation the moment one crosses the threshold.
+
+Used two ways:
+
+* in tests, as an oracle over whole simulations ("the defense never
+  let a counter reach N_RH, under any driven workload or attack"), and
+* in experiments, to report the observed safety margin
+  (N_RH - peak) for a configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dram.rank import Channel
+
+
+@dataclass
+class SafetyViolation:
+    """One counter crossing of the threshold."""
+
+    bank_id: int
+    row: int
+    count: int
+
+
+class SafetyMonitor:
+    """Watches every bank's activations against a threshold."""
+
+    def __init__(self, channel: Channel, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.peak_count = 0
+        self.peak_location: Optional[Tuple[int, int]] = None  # (bank, row)
+        self.violations: List[SafetyViolation] = []
+        for bank in channel:
+            bank.on_activate(self._observe)
+
+    def _observe(self, bank, row: int, count: int) -> None:
+        if count > self.peak_count:
+            self.peak_count = count
+            self.peak_location = (bank.bank_id, row)
+        if count >= self.threshold:
+            self.violations.append(
+                SafetyViolation(bank_id=bank.bank_id, row=row, count=count)
+            )
+
+    @property
+    def safe(self) -> bool:
+        """True iff no counter ever reached the threshold."""
+        return not self.violations
+
+    @property
+    def margin(self) -> int:
+        """Remaining headroom: threshold minus the observed peak."""
+        return self.threshold - self.peak_count
+
+    def report(self) -> str:
+        """One-line human-readable safety summary."""
+        location = (
+            f"bank {self.peak_location[0]} row {self.peak_location[1]}"
+            if self.peak_location
+            else "n/a"
+        )
+        status = "SAFE" if self.safe else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"peak counter {self.peak_count}/{self.threshold} at {location} "
+            f"(margin {self.margin}) — {status}"
+        )

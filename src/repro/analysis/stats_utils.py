@@ -1,0 +1,76 @@
+"""Statistics helpers for multi-seed experiment runs.
+
+The performance experiments are deterministic given a seed; running a
+few seeds gives a spread from synthetic-trace variation.  This module
+provides mean/stdev/confidence-interval summaries and a helper that
+repeats a seeded measurement function across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+#: two-sided 95% t-critical values for small sample sizes (df = n-1)
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and a 95% confidence interval for one metric."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def overlaps(self, other: "Summary") -> bool:
+        """Whether the two 95% CIs overlap (no significant difference)."""
+        lo_a, hi_a = self.ci95
+        lo_b, hi_b = other.ci95
+        return hi_a >= lo_b and hi_b >= lo_a
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.4f} ± {self.ci95_half_width:.4f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics with a t-based 95% CI."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, stdev=0.0, ci95_half_width=0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stdev = math.sqrt(variance)
+    t_crit = _T95.get(n - 1, 1.96)
+    return Summary(
+        n=n,
+        mean=mean,
+        stdev=stdev,
+        ci95_half_width=t_crit * stdev / math.sqrt(n),
+    )
+
+
+def across_seeds(
+    measure: Callable[[int], float], seeds: Sequence[int]
+) -> Summary:
+    """Run a seeded measurement for each seed; summarize the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([measure(seed) for seed in seeds])
+
+
+def compare_designs(
+    measures: Dict[str, Callable[[int], float]], seeds: Sequence[int]
+) -> Dict[str, Summary]:
+    """Measure several designs over the same seeds."""
+    return {name: across_seeds(fn, seeds) for name, fn in measures.items()}

@@ -1,0 +1,51 @@
+"""Storage overhead accounting (Section 6.8).
+
+TPRAC's controller-side state is a single RFM Interval Register per
+memory controller holding the TB-Window.  24 bits suffice to express
+intervals up to ~half a tREFW at DRAM-clock granularity.  The in-DRAM
+cost is the single-entry mitigation queue per bank (row address +
+activation count), which prior PRAC designs already require.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.config import DramConfig, ddr5_8000b
+
+
+@dataclass(frozen=True)
+class StorageOverhead:
+    """Bit counts for TPRAC's added state."""
+
+    interval_register_bits: int
+    queue_bits_per_bank: int
+    banks: int
+
+    @property
+    def controller_bytes(self) -> float:
+        return self.interval_register_bits / 8
+
+    @property
+    def dram_queue_bytes(self) -> float:
+        return self.queue_bits_per_bank * self.banks / 8
+
+
+def interval_register_bits(config: DramConfig) -> int:
+    """Bits to encode intervals up to tREFW/2 in DRAM clock ticks."""
+    max_interval_ticks = (config.timing.tREFW / 2) / config.timing.tCK
+    return math.ceil(math.log2(max_interval_ticks))
+
+
+def storage_overhead_bits(config: DramConfig = None) -> StorageOverhead:
+    """Total TPRAC storage: one interval register + one queue entry/bank."""
+    config = config or ddr5_8000b()
+    org = config.organization
+    row_bits = math.ceil(math.log2(org.rows_per_bank))
+    count_bits = math.ceil(math.log2(max(2, config.prac.nbo)))
+    return StorageOverhead(
+        interval_register_bits=interval_register_bits(config),
+        queue_bits_per_bank=row_bits + count_bits,
+        banks=org.total_banks,
+    )

@@ -1,0 +1,31 @@
+"""PRACLeak: timing-channel attacks on PRAC-based mitigations.
+
+* :mod:`repro.attacks.probes` — latency-monitoring receiver machinery
+  (the Section 3.1 characterization).
+* :mod:`repro.attacks.covert` — the two covert channels: activity-based
+  (1 bit / window) and activation-count-based (log2 N_BO bits / window).
+* :mod:`repro.attacks.side_channel` — the AES T-table key-recovery
+  attack built on the activation-count channel.
+"""
+
+from repro.attacks.probes import LatencyProbe, ProbeResult, RowHammerSender
+from repro.attacks.covert import (
+    ActivationCountChannel,
+    ActivityChannel,
+    CovertChannelResult,
+)
+from repro.attacks.side_channel import AesSideChannelAttack, SideChannelResult
+from repro.attacks.acb_channel import AcbRfmChannel, AcbChannelResult
+
+__all__ = [
+    "AcbChannelResult",
+    "AcbRfmChannel",
+    "ActivationCountChannel",
+    "ActivityChannel",
+    "AesSideChannelAttack",
+    "CovertChannelResult",
+    "LatencyProbe",
+    "ProbeResult",
+    "RowHammerSender",
+    "SideChannelResult",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig7
+    python -m repro.cli table2 --nbo 256 512
+    python -m repro.cli fig10 --requests 3000 --workloads 433.milc 470.lbm
+    python -m repro.cli all
+
+Each subcommand runs the matching harness from
+:mod:`repro.experiments` and prints the regenerated rows/series,
+plus an ASCII rendering where the paper's artifact is a plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import plotting
+
+
+def _run_fig3(args) -> str:
+    from repro.experiments import fig3_latency
+
+    result = fig3_latency.run(nbo=args.nbo[0] if args.nbo else 256)
+    blocks = [result.format_table()]
+    for label, timeline in result.timelines.items():
+        blocks.append(
+            plotting.latency_strip(
+                timeline.times, timeline.latencies, title=label
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _run_table2(args) -> str:
+    from repro.experiments import table2_covert
+
+    result = table2_covert.run(nbo_values=tuple(args.nbo or (256, 512, 1024)))
+    return result.format_table()
+
+
+def _run_fig4(args) -> str:
+    from repro.experiments import fig4_side_channel
+
+    result = fig4_side_channel.run(encryptions=args.requests or 200)
+    attack = result.attack
+    strip = plotting.latency_strip(
+        [t for t, _ in attack.probe_timeline],
+        [lat for _, lat in attack.probe_timeline],
+        title="attacker probe latency (probe phase)",
+    )
+    return result.format_table() + "\n\n" + strip
+
+
+def _run_fig5(args) -> str:
+    from repro.experiments import fig5_key_sweep
+
+    result = fig5_key_sweep.run(encryptions=args.requests or 200)
+    matrix = []
+    labels = []
+    for attack in result.results:
+        row = [attack.victim_histogram.get(r, 0) for r in range(16)]
+        matrix.append(row)
+        labels.append(f"k0={attack.true_nibble << 4:3d}")
+    heat = plotting.heatmap(
+        matrix, row_labels=labels, title="victim activations per row (x=row 0..15)"
+    )
+    return result.format_table() + "\n\n" + heat
+
+
+def _run_fig7(args) -> str:
+    from repro.experiments import fig7_security
+
+    result = fig7_security.run()
+    series = {
+        "with reset": [
+            (r.tb_window_trefi, r.tmax) for r in result.sweep["with_reset"]
+        ],
+        "without reset": [
+            (r.tb_window_trefi, r.tmax) for r in result.sweep["without_reset"]
+        ],
+    }
+    plot = plotting.line_plot(
+        series, title="TMAX vs TB-Window (tREFI)", logy=True
+    )
+    return result.format_table() + "\n\n" + plot
+
+
+def _run_fig9(args) -> str:
+    from repro.experiments import fig9_defense
+
+    result = fig9_defense.run(encryptions=args.requests or 150)
+    return result.format_table()
+
+
+def _perf_args(args) -> dict:
+    return dict(
+        workloads=args.workloads or None,
+        requests_per_core=args.requests or None,
+    )
+
+
+def _run_fig10(args) -> str:
+    from repro.experiments import fig10_performance
+
+    result = fig10_performance.run(**_perf_args(args))
+    labels = list(result.matrix)
+    chart = plotting.bar_chart(
+        labels,
+        [result.slowdown_pct(label) for label in labels],
+        unit="%",
+        title="geomean slowdown",
+    )
+    return result.format_table() + "\n\n" + chart
+
+
+def _run_fig11(args) -> str:
+    from repro.experiments import fig11_prac_levels
+
+    return fig11_prac_levels.run(**_perf_args(args)).format_table()
+
+
+def _run_fig12(args) -> str:
+    from repro.experiments import fig12_tref
+
+    return fig12_tref.run(**_perf_args(args)).format_table()
+
+
+def _run_fig13(args) -> str:
+    from repro.experiments import fig13_nrh
+
+    result = fig13_nrh.run(**_perf_args(args))
+    series = {
+        design: [
+            (nrh, result.slowdown_pct(nrh, design)) for nrh in sorted(result.by_nrh)
+        ]
+        for design in ("abo_only", "abo_acb", "tprac")
+    }
+    plot = plotting.line_plot(series, title="slowdown% vs N_RH")
+    return result.format_table() + "\n\n" + plot
+
+
+def _run_fig14(args) -> str:
+    from repro.experiments import fig14_reset
+
+    return fig14_reset.run(**_perf_args(args)).format_table()
+
+
+def _run_table5(args) -> str:
+    from repro.experiments import table5_energy
+
+    return table5_energy.run(**_perf_args(args)).format_table()
+
+
+COMMANDS: Dict[str, Callable] = {
+    "fig3": _run_fig3,
+    "table2": _run_table2,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig7": _run_fig7,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "table5": _run_table5,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from the PRACLeak/TPRAC paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all", "list"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--nbo", type=int, nargs="*", help="Back-Off threshold(s) where applicable"
+    )
+    parser.add_argument(
+        "--requests", type=int, help="per-core request / encryption budget"
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", help="workload names (default: balanced subset)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"==== {name} " + "=" * max(0, 60 - len(name)))
+        print(COMMANDS[name](args))
+        print(f"---- {name} done in {time.time() - started:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

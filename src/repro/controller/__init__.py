@@ -1,0 +1,23 @@
+"""Memory controller: request scheduling, RFM issuing, statistics.
+
+* :mod:`repro.controller.request` — the memory request record.
+* :mod:`repro.controller.scheduler` — FR-FCFS with a row-hit cap.
+* :mod:`repro.controller.controller` — the event-driven controller
+  that ties banks, the ABO protocol, refresh and mitigation policies
+  together.
+* :mod:`repro.controller.stats` — latency/RFM bookkeeping.
+"""
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemRequest
+from repro.controller.scheduler import FrFcfsScheduler
+from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
+
+__all__ = [
+    "ControllerStats",
+    "FrFcfsScheduler",
+    "LatencySample",
+    "MemRequest",
+    "MemoryController",
+    "RfmRecord",
+]

@@ -1,0 +1,387 @@
+"""The event-driven DDR5 memory controller.
+
+This module ties the whole device model together: it decodes physical
+addresses, schedules requests with FR-FCFS, walks the ACT/PRE/RD/WR
+timing state machine per bank, issues refreshes, and — central to the
+paper — issues RFM commands, either reactively (Alert Back-Off),
+proactively on activation counts (ACB-RFM), or on a timer (TPRAC's
+TB-RFM), as decided by the attached mitigation policy.
+
+Fidelity notes
+--------------
+* Requests are modelled at command granularity: a request's service is
+  decomposed into (optional PRE) + (optional ACT) + CAS + burst, with
+  tRC/tRP/tRCD/tCL/tBL/tCCD/tWR respected per bank and a shared data
+  bus serialized with tBL.
+* REFab and RFMab close all rows and block the whole channel (tRFC /
+  tRFMab) — this channel-wide stall is the paper's timing channel.
+* An RFM does not abort requests already in flight; it delays requests
+  scheduled after it, which is exactly the latency spike an attacker
+  observes on its own accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.request import MemRequest
+from repro.controller.scheduler import FrFcfsScheduler
+from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping, MopMapping
+from repro.dram.commands import Command, CommandKind, RfmProvenance
+from repro.dram.config import DramConfig
+from repro.dram.rank import Channel
+from repro.dram.refresh import RefreshScheduler
+from repro.prac.abo import AboProtocol
+
+
+class MemoryController:
+    """One channel's memory controller.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine.
+    config:
+        Device configuration (organization, timing, PRAC parameters).
+    policy:
+        A mitigation policy (see :mod:`repro.mitigations`); ``None``
+        models PRAC-enabled DRAM that never mitigates (the paper's
+        normalization baseline when combined with ``enable_abo=False``).
+    mapping:
+        Address mapping; defaults to Minimalist Open Page.
+    page_policy:
+        ``"open"`` leaves rows open after access; ``"closed"``
+        precharges immediately.
+    enable_abo:
+        Whether the device asserts Alert at N_BO.
+    enable_refresh:
+        Whether periodic REFab is simulated (tests may disable it).
+    tref_per_trefi:
+        Targeted-Refresh rate for the TPRAC co-design (Section 4.3).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DramConfig,
+        policy: Optional[object] = None,
+        mapping: Optional[AddressMapping] = None,
+        page_policy: str = "open",
+        enable_abo: bool = True,
+        enable_refresh: bool = True,
+        tref_per_trefi: float = 0.0,
+        scheduler_cap: int = 4,
+        record_samples: bool = True,
+        log_commands: bool = False,
+    ) -> None:
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self.engine = engine
+        self.config = config.validate()
+        self.channel = Channel(config)
+        self.mapping = mapping or MopMapping(config.organization)
+        self.page_policy = page_policy
+        self.enable_abo = enable_abo
+        self.stats = ControllerStats(record_samples=record_samples)
+        self.scheduler = FrFcfsScheduler(
+            num_banks=config.organization.total_banks, cap=scheduler_cap
+        )
+        # Per-bank pipeline state beyond what Bank itself tracks.
+        n = config.organization.total_banks
+        self._bank_cmd_ready: List[float] = [0.0] * n   # next CAS/ACT slot
+        self._last_act_time: List[float] = [-1e18] * n
+        self._last_cas_time: List[float] = [-1e18] * n  # for tRTP (RD->PRE)
+        self._wr_recovery_until: List[float] = [0.0] * n
+
+        # ABO protocol --------------------------------------------------
+        self.abo = AboProtocol(config, self.channel, clock=lambda: engine.now)
+        self.abo.on_alert.append(self._on_alert)
+        self._abo_deadline: Optional[float] = None
+
+        # Refresh & tREFW -----------------------------------------------
+        self.refresh = RefreshScheduler(
+            engine, self.channel, config, tref_per_trefi=tref_per_trefi
+        )
+        self.refresh.on_refw.append(self._on_refw)
+        self.refresh.on_tref.append(self._on_tref)
+        if enable_refresh:
+            self.refresh.start()
+
+        # Mitigation policy ---------------------------------------------
+        self.policy = policy
+        self._pending_rfms: List[Tuple[RfmProvenance, int]] = []
+        if policy is not None:
+            policy.attach(self)
+
+        self._wake_event = None
+
+        #: optional command-level trace for post-hoc timing verification
+        self.command_log: Optional[List[Command]] = [] if log_commands else None
+        if log_commands:
+            self.refresh.on_refresh.append(
+                lambda start: self._log(CommandKind.REF, -1, -1, start)
+            )
+
+    def _log(self, kind: CommandKind, bank_id: int, row: int, time: float) -> None:
+        if self.command_log is not None:
+            self.command_log.append(
+                Command(kind=kind, bank_id=bank_id, row=row, issue_time=time)
+            )
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a request; it will complete via ``request.complete``."""
+        request.addr = self.mapping.decode(request.phys_addr)
+        request.arrive_time = self.engine.now
+        bank_id = request.addr.flat_bank(self.config.organization)
+        request.meta["bank"] = bank_id
+        self.scheduler.enqueue(request, bank_id)
+        self._schedule_wake(self.engine.now)
+
+    def request_rfm(self, provenance: RfmProvenance, count: int = 1) -> None:
+        """Ask the controller to issue ``count`` RFMab commands ASAP.
+
+        Used by proactive policies (ACB thresholds, TPRAC's TB timer,
+        the obfuscation defense's random injector).
+        """
+        self._pending_rfms.append((provenance, count))
+        self._schedule_wake(self.engine.now)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def idle(self) -> bool:
+        """True when no requests or proactive RFMs are pending."""
+        return self.scheduler.pending() == 0 and not self._pending_rfms
+
+    # ==================================================================
+    # ABO protocol hooks
+    # ==================================================================
+    def _on_alert(self, time: float, bank_id: int, row: int) -> None:
+        if not self.enable_abo:
+            # Device-side alert wiring disabled: clear immediately.
+            self.abo.reset()
+            return
+        self._abo_deadline = self.engine.now + self.config.timing.tABOACT
+        self._schedule_wake(self.engine.now)
+
+    def _on_refw(self, time: float) -> None:
+        """tREFW boundary: optional PRAC counter reset (Figure 14)."""
+        if self.config.prac.reset_on_refresh:
+            self.channel.reset_all_counters()
+            if self.policy is not None:
+                self.policy.on_counter_reset(self, time)
+
+    def _on_tref(self, time: float) -> None:
+        """A Targeted-Refresh slot fired inside this refresh."""
+        if self.policy is not None:
+            self.policy.on_tref(self, time)
+
+    # ==================================================================
+    # Scheduling loop
+    # ==================================================================
+    def _schedule_wake(self, time: float) -> None:
+        time = max(time, self.engine.now)
+        if self._wake_event is not None and not self._wake_event.cancelled:
+            if self._wake_event.time <= time:
+                return
+            self._wake_event.cancel()
+        self._wake_event = self.engine.schedule(time, self._wake, priority=1, label="mc-wake")
+
+    def _wake(self) -> None:
+        self._wake_event = None
+        now = self.engine.now
+        if now < self.channel.blocked_until:
+            self._schedule_wake(self.channel.blocked_until)
+            return
+
+        # 1. Mandatory ABO mitigation --------------------------------
+        if self.enable_abo and self.abo.alert_pending:
+            due = (
+                self.abo.must_mitigate_now
+                or (self._abo_deadline is not None and now >= self._abo_deadline)
+                or self.scheduler.pending() == 0
+            )
+            if due:
+                self._issue_rfm_burst(self.abo.rfm_burst_size(), RfmProvenance.ABO)
+                self.abo.mitigation_done()
+                self._abo_deadline = None
+                self._schedule_wake(self.channel.blocked_until)
+                return
+
+        # 2. Proactive RFMs requested by the policy -------------------
+        if self._pending_rfms:
+            provenance, count = self._pending_rfms.pop(0)
+            self._issue_rfm_burst(count, provenance)
+            self._schedule_wake(self.channel.blocked_until)
+            return
+
+        # 3. Serve requests ------------------------------------------
+        next_wake: Optional[float] = None
+        if self._abo_deadline is not None:
+            next_wake = self._abo_deadline
+        served_any = False
+        for bank_id in list(self.scheduler.banks_with_work()):
+            # ABO grace exhausted mid-loop: stop ACTs, mitigate first.
+            if self.enable_abo and self.abo.must_mitigate_now:
+                self._schedule_wake(now)
+                break
+            bank = self.channel.bank(bank_id)
+            ready = self._bank_ready_time(bank_id)
+            if ready > now:
+                next_wake = ready if next_wake is None else min(next_wake, ready)
+                continue
+            request = self.scheduler.pick(bank_id, bank)
+            if request is None:
+                continue
+            self._serve(request, bank_id)
+            served_any = True
+            if self.scheduler.pending(bank_id):
+                ready = self._bank_ready_time(bank_id)
+                next_wake = ready if next_wake is None else min(next_wake, ready)
+
+        if served_any and self.scheduler.pending():
+            # Re-examine immediately: serving may have changed state.
+            self._schedule_wake(now)
+        elif next_wake is not None:
+            self._schedule_wake(max(next_wake, now))
+
+    # ------------------------------------------------------------------
+    def _earliest_precharge(self, bank_id: int, arrival: float) -> float:
+        """When a PRE for a pending conflict could have been issued.
+
+        Models an eager controller: once a conflicting request is in
+        the queue, the precharge goes out as soon as tRAS (ACT->PRE),
+        tRTP (RD->PRE) and write recovery allow — not when the request
+        is finally picked.
+        """
+        timing = self.config.timing
+        return max(
+            arrival,
+            self._last_act_time[bank_id] + timing.tRAS,
+            self._last_cas_time[bank_id] + timing.tRTP,
+            self._wr_recovery_until[bank_id],
+        )
+
+    def _bank_ready_time(self, bank_id: int) -> float:
+        """Earliest time the head request of this bank could start."""
+        timing = self.config.timing
+        bank = self.channel.bank(bank_id)
+        t = max(self._bank_cmd_ready[bank_id], self.channel.blocked_until)
+        queue = self.scheduler.queues[bank_id]
+        if not queue:
+            return t
+        head = queue[0]
+        if bank.open_row is not None and head.addr.row == bank.open_row:
+            return t
+        if bank.open_row is None:
+            act_at = max(bank.ready_at, bank.precharge_done_at)
+        else:
+            pre_at = self._earliest_precharge(bank_id, head.arrive_time)
+            act_at = max(pre_at + timing.tRP, bank.ready_at)
+        return max(t, act_at)
+
+    def _serve(self, request: MemRequest, bank_id: int) -> None:
+        """Walk the command sequence for one request; schedule completion."""
+        timing = self.config.timing
+        bank = self.channel.bank(bank_id)
+        now = self.engine.now
+        row = request.addr.row
+        t = max(now, self._bank_cmd_ready[bank_id], self.channel.blocked_until)
+
+        if bank.open_row == row:
+            was_hit = True
+            cas_time = t
+        else:
+            was_hit = False
+            if bank.open_row is not None:
+                # Row conflict: eager precharge (see _earliest_precharge).
+                pre_time = self._earliest_precharge(bank_id, request.arrive_time)
+                bank.precharge(pre_time)
+                self._log(CommandKind.PRE, bank_id, -1, pre_time)
+                self.stats.row_conflicts += 1
+            else:
+                self.stats.row_misses += 1
+            act_time = max(t, bank.ready_at, bank.precharge_done_at)
+            bank.activate(row, act_time)
+            self._log(CommandKind.ACT, bank_id, row, act_time)
+            self._last_act_time[bank_id] = act_time
+            cas_time = act_time + timing.tRCD
+        self._last_cas_time[bank_id] = cas_time
+        self._log(
+            CommandKind.WR if request.is_write else CommandKind.RD,
+            bank_id,
+            row,
+            cas_time,
+        )
+
+        data_latency = timing.tCL  # same CAS latency for RD/WR in model
+        data_start = max(cas_time + data_latency, self.channel.bus_free_at)
+        data_end = data_start + timing.tBL
+        self.channel.bus_free_at = data_end
+        bank.record_column(request.is_write)
+        if request.is_write:
+            self._wr_recovery_until[bank_id] = data_end + timing.tWR
+        self._bank_cmd_ready[bank_id] = cas_time + timing.tCCD
+        if self.page_policy == "closed":
+            pre_time = max(
+                data_end + timing.tRTP,
+                self._last_act_time[bank_id] + timing.tRAS,
+                self._wr_recovery_until[bank_id],
+            )
+            bank.precharge(pre_time)
+
+        sample = LatencySample(
+            time=data_end,
+            latency=data_end - request.arrive_time,
+            core_id=request.core_id,
+            bank_id=bank_id,
+            row=row,
+            was_hit=was_hit,
+        )
+        self.engine.schedule(
+            data_end,
+            lambda req=request, s=sample: self._finish(req, s),
+            priority=2,
+            label="mc-done",
+        )
+
+    def _finish(self, request: MemRequest, sample: LatencySample) -> None:
+        self.stats.record_request(sample)
+        if request.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        request.complete(self.engine.now)
+
+    # ------------------------------------------------------------------
+    def _issue_rfm_burst(self, count: int, provenance: RfmProvenance) -> None:
+        """Issue ``count`` back-to-back RFMab commands, mitigating rows."""
+        timing = self.config.timing
+        # Like refresh, an RFM waits for in-flight transfers to drain.
+        t = max(
+            self.engine.now, self.channel.blocked_until, self.channel.bus_free_at
+        )
+        for _ in range(count):
+            start = max(t, self.channel.blocked_until)
+            end = self.channel.block(start, timing.tRFMab)
+            self._log(CommandKind.RFM_AB, -1, -1, start)
+            mitigated: Dict[int, int] = {}
+            if self.policy is not None:
+                mitigated = self.policy.mitigate_on_rfm(self, start, provenance)
+            self.stats.record_rfm(
+                RfmRecord(
+                    time=start,
+                    provenance=provenance,
+                    mitigated_rows=mitigated,
+                )
+            )
+            self.channel.rfm_count += 1
+            t = end
+        for bank in self.channel:
+            bank.activations_since_rfm = 0

@@ -1,0 +1,48 @@
+"""Memory request records exchanged between cores and the controller."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dram.address import DramAddress
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """A single cache-line request to DRAM.
+
+    ``arrive_time`` is when the request reached the controller;
+    ``done_time`` is filled in when data is returned.  ``on_complete``
+    lets the issuing core (or attack harness) react to completion.
+    """
+
+    phys_addr: int
+    is_write: bool = False
+    core_id: int = 0
+    arrive_time: float = 0.0
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    addr: Optional[DramAddress] = None       # filled by the controller
+    done_time: Optional[float] = None
+    on_complete: Optional[Callable[["MemRequest"], None]] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (ns); raises if not yet completed."""
+        if self.done_time is None:
+            raise RuntimeError(f"request {self.req_id} not completed")
+        return self.done_time - self.arrive_time
+
+    def complete(self, time: float) -> None:
+        """Mark data returned at ``time`` and fire the completion callback."""
+        self.done_time = time
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "WR" if self.is_write else "RD"
+        return f"<MemRequest#{self.req_id} {kind} 0x{self.phys_addr:x} core={self.core_id}>"

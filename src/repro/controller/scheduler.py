@@ -1,0 +1,94 @@
+"""FR-FCFS request scheduling with a row-hit cap.
+
+First-Ready, First-Come-First-Served: among queued requests, row-buffer
+hits are preferred (they are "ready" without an ACT); ties break by age.
+An unbounded hit-first policy can starve conflicting requests, so the
+paper's controller caps consecutive row hits at 4 (Table 3, following
+Mutlu & Moscibroda); after the cap the oldest request wins regardless.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.controller.request import MemRequest
+from repro.dram.bank import Bank
+
+
+class FrFcfsScheduler:
+    """Per-bank FR-FCFS queues with a configurable row-hit cap."""
+
+    def __init__(self, num_banks: int, cap: int = 4, queue_depth: int = 64) -> None:
+        if num_banks <= 0:
+            raise ValueError("num_banks must be positive")
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        self.cap = cap
+        self.queue_depth = queue_depth
+        self.queues: List[Deque[MemRequest]] = [deque() for _ in range(num_banks)]
+        self._consecutive_hits: Dict[int, int] = {b: 0 for b in range(num_banks)}
+        # Busy-bank tracking keeps the controller's wake loop O(busy)
+        # instead of O(total banks); total_pending avoids re-summing.
+        self._busy: set = set()
+        self._total_pending = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest, bank_id: int) -> None:
+        """Append a decoded request to its bank queue."""
+        if request.addr is None:
+            raise ValueError("request must be decoded before enqueueing")
+        self.queues[bank_id].append(request)
+        self._busy.add(bank_id)
+        self._total_pending += 1
+
+    def pending(self, bank_id: Optional[int] = None) -> int:
+        """Queued request count, per bank or total."""
+        if bank_id is not None:
+            return len(self.queues[bank_id])
+        return self._total_pending
+
+    def is_full(self, bank_id: int) -> bool:
+        """Whether a bank queue reached its depth limit."""
+        return len(self.queues[bank_id]) >= self.queue_depth
+
+    def banks_with_work(self) -> Iterable[int]:
+        """Bank ids with at least one queued request, ascending."""
+        return sorted(self._busy)
+
+    # ------------------------------------------------------------------
+    def pick(self, bank_id: int, bank: Bank) -> Optional[MemRequest]:
+        """Choose and remove the next request for ``bank_id``.
+
+        Row hits win until ``cap`` consecutive hits have been served
+        while an older non-hit waits; then the oldest request is served
+        to guarantee forward progress.
+        """
+        queue = self.queues[bank_id]
+        if not queue:
+            return None
+        oldest = queue[0]
+        hit_index = None
+        if bank.open_row is not None:
+            for index, req in enumerate(queue):
+                if req.addr is not None and req.addr.row == bank.open_row:
+                    hit_index = index
+                    break
+        use_hit = (
+            hit_index is not None
+            and (hit_index == 0 or self._consecutive_hits[bank_id] < self.cap)
+        )
+        if use_hit:
+            assert hit_index is not None
+            chosen = queue[hit_index]
+            del queue[hit_index]
+            if hit_index > 0:
+                self._consecutive_hits[bank_id] += 1
+        else:
+            self._consecutive_hits[bank_id] = 0
+            queue.popleft()
+            chosen = oldest
+        self._total_pending -= 1
+        if not queue:
+            self._busy.discard(bank_id)
+        return chosen

@@ -1,0 +1,89 @@
+"""Controller statistics: latency samples, RFM records, bandwidth.
+
+The attacks observe *memory access latency over time*; the defense
+evaluation observes *how many RFMs of which provenance were issued*.
+Both observables are recorded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.commands import RfmProvenance
+
+
+@dataclass
+class LatencySample:
+    """One completed request, as seen by a latency-monitoring attacker."""
+
+    time: float          # completion time (ns)
+    latency: float       # end-to-end latency (ns)
+    core_id: int
+    bank_id: int
+    row: int
+    was_hit: bool
+
+
+@dataclass
+class RfmRecord:
+    """One issued RFM command (burst member)."""
+
+    time: float
+    provenance: RfmProvenance
+    bank_id: int = -1            # -1 for all-bank
+    mitigated_rows: Dict[int, int] = field(default_factory=dict)  # bank -> row
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate statistics for one simulation run."""
+
+    requests_served: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    total_latency: float = 0.0
+    refreshes: int = 0
+    latency_samples: List[LatencySample] = field(default_factory=list)
+    rfm_records: List[RfmRecord] = field(default_factory=list)
+    record_samples: bool = True
+
+    # ------------------------------------------------------------------
+    def record_request(self, sample: LatencySample) -> None:
+        """Account one completed request (and keep its sample)."""
+        self.requests_served += 1
+        self.total_latency += sample.latency
+        if sample.was_hit:
+            self.row_hits += 1
+        if self.record_samples:
+            self.latency_samples.append(sample)
+
+    def record_rfm(self, record: RfmRecord) -> None:
+        """Append one issued-RFM record."""
+        self.rfm_records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_latency(self) -> float:
+        if self.requests_served == 0:
+            return 0.0
+        return self.total_latency / self.requests_served
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.requests_served == 0:
+            return 0.0
+        return self.row_hits / self.requests_served
+
+    def rfm_count(self, provenance: Optional[RfmProvenance] = None) -> int:
+        """Number of RFMs issued, optionally filtered by provenance."""
+        if provenance is None:
+            return len(self.rfm_records)
+        return sum(1 for r in self.rfm_records if r.provenance is provenance)
+
+    def core_samples(self, core_id: int) -> List[LatencySample]:
+        """Latency samples belonging to one core."""
+        return [s for s in self.latency_samples if s.core_id == core_id]

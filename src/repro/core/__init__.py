@@ -1,0 +1,11 @@
+"""Core infrastructure: the discrete-event simulation kernel.
+
+The whole reproduction is built on a single event-driven engine
+(:class:`repro.core.engine.Engine`).  DRAM, memory controller, cores and
+attack harnesses all schedule callbacks on it; time is measured in
+nanoseconds (floats, since DDR5-8000 has a 0.25 ns clock).
+"""
+
+from repro.core.engine import Engine, Event
+
+__all__ = ["Engine", "Event"]

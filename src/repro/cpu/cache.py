@@ -1,0 +1,141 @@
+"""Set-associative cache model with LRU replacement and flush support.
+
+Used by the AES side-channel experiments (the attacker flushes T-table
+lines so the victim's lookups hit DRAM, as with ``clflush`` in the
+paper) and available to the workload path.  The model tracks tags and
+dirty bits only — data values never matter for timing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One cache level: ``size_bytes`` / ``ways`` / ``line_bytes``.
+
+    ``access`` returns ``(hit, writeback_addr)``; a non-None writeback
+    address means a dirty line was evicted and must be written to the
+    next level (ultimately DRAM).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        latency_ns: float = 1.0,
+    ) -> None:
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError(f"{name}: size must be divisible by ways*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self.latency_ns = latency_ns
+        self.stats = CacheStats()
+        # sets[i] maps tag -> dirty, in LRU order (first = LRU victim).
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _locate(self, phys_addr: int) -> Tuple[int, int]:
+        line = phys_addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, phys_addr: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Look up the line; fill on miss.  Returns (hit, writeback)."""
+        set_index, tag = self._locate(phys_addr)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            self.stats.hits += 1
+            dirty = cache_set.pop(tag) or is_write
+            cache_set[tag] = dirty        # move to MRU
+            return True, None
+        self.stats.misses += 1
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim_tag, victim_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_line = victim_tag * self.num_sets + set_index
+                writeback = victim_line * self.line_bytes
+        cache_set[tag] = is_write
+        return False, writeback
+
+    def contains(self, phys_addr: int) -> bool:
+        """Whether the line holding ``phys_addr`` is resident."""
+        set_index, tag = self._locate(phys_addr)
+        return tag in self._sets[set_index]
+
+    def flush(self, phys_addr: int) -> bool:
+        """clflush: evict the line if present; returns whether it was."""
+        set_index, tag = self._locate(phys_addr)
+        present = self._sets[set_index].pop(tag, None)
+        self.stats.flushes += 1
+        return present is not None
+
+    def invalidate_all(self) -> None:
+        """Drop every line (power-on state)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+class CacheHierarchy:
+    """Private L1/L2 plus a shared LLC reference (paper's Table 3 shape).
+
+    ``access`` walks L1 -> L2 -> LLC and reports whether DRAM is needed
+    plus the accumulated lookup latency and any dirty writeback that
+    must go to memory.
+    """
+
+    def __init__(
+        self,
+        l1: Optional[Cache] = None,
+        l2: Optional[Cache] = None,
+        llc: Optional[Cache] = None,
+    ) -> None:
+        self.l1 = l1 or Cache("L1D", 48 * 1024, 12, latency_ns=1.25)
+        self.l2 = l2 or Cache("L2", 512 * 1024, 8, latency_ns=2.5)
+        self.llc = llc or Cache("LLC", 8 * 1024 * 1024, 16, latency_ns=5.0)
+        self.levels = [self.l1, self.l2, self.llc]
+
+    def access(self, phys_addr: int, is_write: bool = False):
+        """Returns (needs_dram, latency_ns, writeback_addr)."""
+        latency = 0.0
+        writeback: Optional[int] = None
+        for level in self.levels:
+            latency += level.latency_ns
+            hit, wb = level.access(phys_addr, is_write)
+            if wb is not None and level is self.levels[-1]:
+                writeback = wb
+            if hit:
+                return False, latency, writeback
+        return True, latency, writeback
+
+    def flush(self, phys_addr: int) -> None:
+        """Flush a line from every level (models clflush)."""
+        for level in self.levels:
+            level.flush(phys_addr)

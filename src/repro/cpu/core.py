@@ -1,0 +1,171 @@
+"""Trace-driven core with a ROB-window memory-level-parallelism model.
+
+The core replays a trace of (compute gap, memory access) records.
+Non-memory instructions retire at the pipeline's peak width; memory
+accesses that miss the caches become DRAM requests.  The core may run
+ahead of its *oldest* outstanding DRAM request by at most ``rob_size``
+instructions — the same constraint a 352-entry reorder buffer imposes —
+so memory-intensive traces naturally exhibit limited MLP and are slowed
+by RFM-induced channel blocking exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.controller.request import MemRequest
+from repro.cpu.cache import CacheHierarchy
+from repro.cpu.trace import TraceCursor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+    from repro.core.engine import Engine
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Pipeline parameters (paper Table 3: 4 GHz, 6-issue, 352 ROB)."""
+
+    freq_ghz: float = 4.0
+    width: int = 4           # sustained retire width for the gap insts
+    rob_size: int = 352
+    max_outstanding: int = 64  # MSHRs toward DRAM
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.freq_ghz
+
+
+class TraceCore:
+    """One core replaying a trace through optional caches to DRAM."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        controller: "MemoryController",
+        cursor: TraceCursor,
+        core_id: int,
+        params: Optional[CoreParams] = None,
+        caches: Optional[CacheHierarchy] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.engine = engine
+        self.controller = controller
+        self.cursor = cursor
+        self.core_id = core_id
+        self.params = params or CoreParams()
+        self.caches = caches
+        self.max_requests = max_requests
+
+        self.insts_retired = 0
+        self.dram_requests = 0
+        self.finished = False
+        self.finish_time: Optional[float] = None
+        #: inst numbers of outstanding DRAM requests, oldest first
+        self._outstanding: Deque[int] = deque()
+        self._stalled = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin issuing; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.engine.schedule(self.engine.now, self._advance, label=f"core{self.core_id}")
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the core's active lifetime."""
+        end = self.finish_time if self.finish_time is not None else self.engine.now
+        if end <= 0:
+            return 0.0
+        cycles = end / self.params.cycle_ns
+        return self.insts_retired / cycles if cycles > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Consume trace records until blocked or done."""
+        if self.finished:
+            return
+        budget_spent = (
+            self.max_requests is not None and self.dram_requests >= self.max_requests
+        )
+        record = None if budget_spent else self.cursor.next()
+        if record is None:
+            if not self._outstanding:
+                self._finish()
+            else:
+                self._stalled = True  # drain remaining misses, then finish
+            return
+
+        # ROB window check: cannot run past the oldest miss + rob_size.
+        if self._outstanding:
+            oldest = self._outstanding[0]
+            if (
+                self.insts_retired + record.gap_insts + 1 - oldest
+                > self.params.rob_size
+                or len(self._outstanding) >= self.params.max_outstanding
+            ):
+                self._stalled = True
+                self.cursor.position = max(0, self.cursor.position - 1)
+                return
+
+        compute_ns = (record.gap_insts / self.params.width) * self.params.cycle_ns
+        self.insts_retired += record.gap_insts + 1
+        extra_ns = 0.0
+        needs_dram = True
+        is_write = record.is_write
+        if self.caches is not None:
+            needs_dram, lookup_ns, writeback = self.caches.access(
+                record.phys_addr, is_write
+            )
+            extra_ns += lookup_ns
+            if writeback is not None:
+                self._issue_dram(writeback, is_write=True, count_outstanding=False)
+        if needs_dram:
+            self.engine.schedule_after(
+                compute_ns + extra_ns,
+                lambda rec=record: self._issue_dram(rec.phys_addr, rec.is_write),
+                label=f"core{self.core_id}-mem",
+            )
+        else:
+            self.engine.schedule_after(compute_ns + extra_ns, self._advance)
+
+    def _issue_dram(
+        self, phys_addr: int, is_write: bool, count_outstanding: bool = True
+    ) -> None:
+        self.dram_requests += 1
+        inst_mark = self.insts_retired
+        if count_outstanding:
+            self._outstanding.append(inst_mark)
+        request = MemRequest(
+            phys_addr=phys_addr,
+            is_write=is_write,
+            core_id=self.core_id,
+            on_complete=(
+                (lambda req, mark=inst_mark: self._dram_done(mark))
+                if count_outstanding
+                else None
+            ),
+        )
+        self.controller.enqueue(request)
+        if count_outstanding:
+            # Keep fetching ahead of the miss (the ROB check gates this).
+            self.engine.schedule(self.engine.now, self._advance)
+
+    def _dram_done(self, inst_mark: int) -> None:
+        try:
+            self._outstanding.remove(inst_mark)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if self._stalled:
+            self._stalled = False
+            self.engine.schedule(self.engine.now, self._advance)
+
+    def _finish(self) -> None:
+        if not self.finished:
+            self.finished = True
+            self.finish_time = self.engine.now

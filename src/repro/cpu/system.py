@@ -1,0 +1,121 @@
+"""Multicore system wiring: cores + caches + one memory controller.
+
+This is the reproduction's ChampSim stand-in.  A :class:`System` builds
+N trace-driven cores sharing one DDR5 channel, runs them to completion
+(or a request budget) and reports per-core IPCs, from which the
+experiments derive weighted speedup and normalized performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.controller import MemoryController
+from repro.core.engine import Engine
+from repro.cpu.cache import CacheHierarchy
+from repro.cpu.core import CoreParams, TraceCore
+from repro.cpu.trace import TraceCursor, TraceRecord
+from repro.dram.config import DramConfig, ddr5_8000b
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one system run."""
+
+    ipcs: List[float]
+    elapsed_ns: float
+    dram_requests: int
+    rfm_total: int
+    rfm_by_provenance: Dict[str, int]
+    row_hit_rate: float
+    mean_latency_ns: float
+    activations: int = 0
+    refreshes: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(self.ipcs)
+
+
+class System:
+    """N cores + one memory controller on a shared engine."""
+
+    def __init__(
+        self,
+        traces: Sequence[List[TraceRecord]],
+        config: Optional[DramConfig] = None,
+        policy: Optional[object] = None,
+        core_params: Optional[CoreParams] = None,
+        use_caches: bool = False,
+        enable_abo: bool = True,
+        enable_refresh: bool = True,
+        tref_per_trefi: float = 0.0,
+        max_requests_per_core: Optional[int] = None,
+        record_samples: bool = False,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one trace")
+        self.engine = Engine()
+        self.config = config or ddr5_8000b()
+        self.controller = MemoryController(
+            self.engine,
+            self.config,
+            policy=policy,
+            enable_abo=enable_abo,
+            enable_refresh=enable_refresh,
+            tref_per_trefi=tref_per_trefi,
+            record_samples=record_samples,
+        )
+        self.cores: List[TraceCore] = []
+        for core_id, trace in enumerate(traces):
+            caches = CacheHierarchy() if use_caches else None
+            core = TraceCore(
+                self.engine,
+                self.controller,
+                TraceCursor(trace),
+                core_id=core_id,
+                params=core_params,
+                caches=caches,
+                max_requests=max_requests_per_core,
+            )
+            self.cores.append(core)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> SystemResult:
+        """Run all cores to completion (or ``until``); gather results.
+
+        The refresh/TB-RFM timers re-arm forever, so the run terminates
+        on core completion rather than queue exhaustion.
+        """
+        for core in self.cores:
+            core.start()
+        fired = 0
+        while fired < max_events:
+            if until is not None and self.engine.now >= until:
+                break
+            if all(core.finished for core in self.cores):
+                break
+            if not self.engine.step():
+                break
+            fired += 1
+        stats = self.controller.stats
+        provenance_counts: Dict[str, int] = {}
+        for record in stats.rfm_records:
+            key = record.provenance.value
+            provenance_counts[key] = provenance_counts.get(key, 0) + 1
+        return SystemResult(
+            ipcs=[core.ipc for core in self.cores],
+            elapsed_ns=self.engine.now,
+            dram_requests=stats.requests_served,
+            rfm_total=len(stats.rfm_records),
+            rfm_by_provenance=provenance_counts,
+            row_hit_rate=stats.row_hit_rate,
+            mean_latency_ns=stats.mean_latency,
+            activations=sum(b.stats.activations for b in self.controller.channel),
+            refreshes=self.controller.refresh.refresh_count,
+            reads=stats.reads,
+            writes=stats.writes,
+        )

@@ -1,0 +1,78 @@
+"""Memory trace records and helpers.
+
+A trace is a sequence of :class:`TraceRecord`; each record says "the
+core executes ``gap_insts`` non-memory instructions, then performs one
+memory access at ``phys_addr``".  This is the same shape as the
+Ramulator2 trace format the paper's artifact uses, and is produced both
+by the synthetic workload generators and by the AES victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: ``gap_insts`` compute instructions, then a load/store."""
+
+    gap_insts: int
+    phys_addr: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gap_insts < 0:
+            raise ValueError("gap_insts must be non-negative")
+        if self.phys_addr < 0:
+            raise ValueError("phys_addr must be non-negative")
+
+
+def synthesize_trace(
+    addresses: Iterable[int],
+    gap_insts: int = 0,
+    write_every: Optional[int] = None,
+) -> List[TraceRecord]:
+    """Build a trace from a plain address stream.
+
+    ``write_every=k`` marks every k-th access as a store; ``None``
+    produces a read-only trace.
+    """
+    records = []
+    for index, addr in enumerate(addresses):
+        is_write = write_every is not None and (index + 1) % write_every == 0
+        records.append(TraceRecord(gap_insts=gap_insts, phys_addr=addr, is_write=is_write))
+    return records
+
+
+class TraceCursor:
+    """Replayable cursor over a trace, with optional looping."""
+
+    def __init__(self, records: List[TraceRecord], loop: bool = False) -> None:
+        self.records = records
+        self.loop = loop
+        self.position = 0
+        self.laps = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def next(self) -> Optional[TraceRecord]:
+        """Return the next record, or None when exhausted."""
+        if self.position >= len(self.records):
+            if not self.loop or not self.records:
+                return None
+            self.position = 0
+            self.laps += 1
+        record = self.records[self.position]
+        self.position += 1
+        return record
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.loop and self.position >= len(self.records)
+
+
+def total_instructions(records: List[TraceRecord]) -> int:
+    """Instruction count a trace represents (gaps + 1 per memory op)."""
+    return sum(r.gap_insts + 1 for r in records)

@@ -1,0 +1,76 @@
+"""Trace file I/O in a Ramulator-style text format.
+
+One record per line::
+
+    <gap_insts> <hex_phys_addr> [R|W]
+
+Lines starting with ``#`` are comments.  The format lets generated
+workload traces be saved, inspected and replayed (the artifact the
+paper ships does the same with its Zenodo trace archive).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from repro.cpu.trace import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+def dump_trace(records: Iterable[TraceRecord], destination: Union[PathLike, TextIO]) -> int:
+    """Write records to a path or file object; returns the line count."""
+    own_handle = not hasattr(destination, "write")
+    handle: TextIO = open(destination, "w") if own_handle else destination
+    count = 0
+    try:
+        handle.write("# repro trace v1: gap_insts phys_addr_hex R|W\n")
+        for record in records:
+            kind = "W" if record.is_write else "R"
+            handle.write(f"{record.gap_insts} 0x{record.phys_addr:x} {kind}\n")
+            count += 1
+    finally:
+        if own_handle:
+            handle.close()
+    return count
+
+
+def load_trace(source: Union[PathLike, TextIO]) -> List[TraceRecord]:
+    """Read records from a path or file object."""
+    own_handle = not hasattr(source, "read")
+    handle: TextIO = open(source, "r") if own_handle else source
+    records: List[TraceRecord] = []
+    try:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"line {line_number}: expected 'gap addr [R|W]', got {line!r}"
+                )
+            gap = int(parts[0])
+            addr = int(parts[1], 16) if parts[1].startswith("0x") else int(parts[1])
+            is_write = len(parts) == 3 and parts[2].upper() == "W"
+            if len(parts) == 3 and parts[2].upper() not in ("R", "W"):
+                raise ValueError(
+                    f"line {line_number}: access kind must be R or W, got {parts[2]!r}"
+                )
+            records.append(
+                TraceRecord(gap_insts=gap, phys_addr=addr, is_write=is_write)
+            )
+    finally:
+        if own_handle:
+            handle.close()
+    return records
+
+
+def roundtrip(records: List[TraceRecord]) -> List[TraceRecord]:
+    """dump + load through memory (test/diagnostic helper)."""
+    buffer = io.StringIO()
+    dump_trace(records, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)

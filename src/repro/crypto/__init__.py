@@ -1,0 +1,19 @@
+"""Cryptographic substrate: the vulnerable AES T-table victim.
+
+The paper's side-channel victim is an OpenSSL/GnuPG-style AES-128
+implementation using four 1 KB lookup tables (T-tables).  The secret
+leaks because first-round lookup indices are ``x_i = p_i XOR k_i`` and
+each T-table spans 16 cache lines, so the *cache line* (and hence DRAM
+row) accessed reveals the top 4 bits of ``x_i``.
+
+* :mod:`repro.crypto.aes_ttable` — full AES-128 (key expansion + all
+  ten rounds) with every T-table access recorded; verified against the
+  FIPS-197 test vectors.
+* :mod:`repro.crypto.victim` — wraps the cipher as a process whose
+  table lookups become DRAM row activations.
+"""
+
+from repro.crypto.aes_ttable import AesTTable, TableAccess
+from repro.crypto.victim import AesVictim, TTableLayout
+
+__all__ = ["AesTTable", "AesVictim", "TTableLayout", "TableAccess"]

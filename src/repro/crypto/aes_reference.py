@@ -1,0 +1,135 @@
+"""Reference AES-128 encryption, straight from the round functions.
+
+A second, independent implementation of the cipher — SubBytes,
+ShiftRows, MixColumns and AddRoundKey applied to the 4x4 state matrix
+directly, with no lookup-table fusion.  It exists purely to
+cross-validate :mod:`repro.crypto.aes_ttable`: the property tests
+encrypt random blocks under random keys with both implementations and
+require bit-identical ciphertexts.  (The side-channel work only traces
+the T-table variant; this one performs no instrumented memory access.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.aes_ttable import INV_SBOX, RCON, SBOX, gf_mul
+
+
+def _bytes_to_state(block: bytes) -> List[List[int]]:
+    """FIPS-197 column-major state: state[row][col] = block[4*col+row]."""
+    return [[block[4 * col + row] for col in range(4)] for row in range(4)]
+
+
+def _state_to_bytes(state: List[List[int]]) -> bytes:
+    return bytes(state[row][col] for col in range(4) for row in range(4))
+
+
+def _sub_bytes(state: List[List[int]]) -> None:
+    for row in range(4):
+        for col in range(4):
+            state[row][col] = SBOX[state[row][col]]
+
+
+def _shift_rows(state: List[List[int]]) -> None:
+    for row in range(1, 4):
+        state[row] = state[row][row:] + state[row][:row]
+
+
+def _mix_columns(state: List[List[int]]) -> None:
+    for col in range(4):
+        a = [state[row][col] for row in range(4)]
+        state[0][col] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        state[1][col] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3]
+        state[2][col] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3)
+        state[3][col] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2)
+
+
+def _add_round_key(state: List[List[int]], round_key: List[int]) -> None:
+    for col in range(4):
+        word = round_key[col]
+        for row in range(4):
+            state[row][col] ^= (word >> (24 - 8 * row)) & 0xFF
+
+
+def _expand_key_words(key: bytes) -> List[int]:
+    """Identical schedule to the T-table module (shared test surface)."""
+    words = [int.from_bytes(key[4 * i: 4 * i + 4], "big") for i in range(4)]
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            rotated = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+            substituted = 0
+            for shift in (24, 16, 8, 0):
+                substituted |= SBOX[(rotated >> shift) & 0xFF] << shift
+            temp = substituted ^ (RCON[i // 4 - 1] << 24)
+        words.append(words[i - 4] ^ temp)
+    return words
+
+
+def encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128 (reference rounds)."""
+    if len(key) != 16:
+        raise ValueError("AES-128 requires a 16-byte key")
+    if len(plaintext) != 16:
+        raise ValueError("AES block must be 16 bytes")
+    round_keys = _expand_key_words(key)
+    state = _bytes_to_state(plaintext)
+    _add_round_key(state, round_keys[0:4])
+    for round_index in range(1, 10):
+        _sub_bytes(state)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[4 * round_index: 4 * round_index + 4])
+    _sub_bytes(state)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[40:44])
+    return _state_to_bytes(state)
+
+
+def _inv_sub_bytes(state: List[List[int]]) -> None:
+    for row in range(4):
+        for col in range(4):
+            state[row][col] = INV_SBOX[state[row][col]]
+
+
+def _inv_shift_rows(state: List[List[int]]) -> None:
+    for row in range(1, 4):
+        state[row] = state[row][-row:] + state[row][:-row]
+
+
+def _inv_mix_columns(state: List[List[int]]) -> None:
+    for col in range(4):
+        a = [state[row][col] for row in range(4)]
+        state[0][col] = (
+            gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9)
+        )
+        state[1][col] = (
+            gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13)
+        )
+        state[2][col] = (
+            gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11)
+        )
+        state[3][col] = (
+            gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14)
+        )
+
+
+def decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt one 16-byte block (inverse cipher, FIPS-197 §5.3)."""
+    if len(key) != 16:
+        raise ValueError("AES-128 requires a 16-byte key")
+    if len(ciphertext) != 16:
+        raise ValueError("AES block must be 16 bytes")
+    round_keys = _expand_key_words(key)
+    state = _bytes_to_state(ciphertext)
+    _add_round_key(state, round_keys[40:44])
+    for round_index in range(9, 0, -1):
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, round_keys[4 * round_index: 4 * round_index + 4])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _inv_sub_bytes(state)
+    _add_round_key(state, round_keys[0:4])
+    return _state_to_bytes(state)

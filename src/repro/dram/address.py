@@ -1,0 +1,156 @@
+"""Physical address to DRAM-coordinate mapping.
+
+Two mappings are provided:
+
+* :class:`LinearMapping` — row/rank/bankgroup/bank/column in descending
+  bit order.  Simple and useful for unit tests and attack traces where
+  we want direct control over which row an address lands in.
+* :class:`MopMapping` — Minimalist Open Page (Kaseridis et al.,
+  MICRO'11), the policy used by the paper's memory controller.  MOP
+  stripes small blocks of consecutive cache lines across banks to mix
+  row-buffer locality with bank-level parallelism.  This striping is
+  exactly what lets two 4 KB pages from different processes share one
+  8 KB DRAM row — the enabler of the activation-count-based channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dram.config import DramOrganization
+
+
+@dataclass(frozen=True, order=True)
+class DramAddress:
+    """A decoded DRAM coordinate."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    def flat_bank(self, org: DramOrganization) -> int:
+        """Flat bank index across the whole channel (rank-major)."""
+        per_rank = org.banks_per_rank
+        within_rank = self.bank_group * org.banks_per_group + self.bank
+        return self.rank * per_rank + within_rank
+
+
+class AddressMapping:
+    """Base class for physical-address decoders."""
+
+    def __init__(self, org: DramOrganization) -> None:
+        self.org = org
+
+    def decode(self, phys_addr: int) -> DramAddress:
+        """Map a byte physical address to a DRAM coordinate."""
+        raise NotImplementedError
+
+    def encode(self, addr: DramAddress) -> int:
+        """Map a DRAM coordinate back to a byte physical address."""
+        raise NotImplementedError
+
+    # Helpers shared by subclasses ------------------------------------
+    def _split(self, value: int, *sizes: int) -> Tuple[int, ...]:
+        """Split ``value`` into fields, least-significant first."""
+        out = []
+        for size in sizes:
+            out.append(value % size)
+            value //= size
+        out.append(value)
+        return tuple(out)
+
+
+class LinearMapping(AddressMapping):
+    """row : rank : bank_group : bank : column : offset (MSB -> LSB)."""
+
+    def decode(self, phys_addr: int) -> DramAddress:
+        org = self.org
+        line = phys_addr // org.cacheline_bytes
+        column, bank, bank_group, rank, row = self._split(
+            line, org.columns_per_row, org.banks_per_group, org.bank_groups, org.ranks
+        )
+        return DramAddress(
+            channel=0,
+            rank=rank % org.ranks,
+            bank_group=bank_group,
+            bank=bank,
+            row=row % org.rows_per_bank,
+            column=column,
+        )
+
+    def encode(self, addr: DramAddress) -> int:
+        org = self.org
+        line = addr.row
+        line = line * org.ranks + addr.rank
+        line = line * org.bank_groups + addr.bank_group
+        line = line * org.banks_per_group + addr.bank
+        line = line * org.columns_per_row + addr.column
+        return line * org.cacheline_bytes
+
+
+class MopMapping(AddressMapping):
+    """Minimalist Open Page mapping.
+
+    Consecutive cache lines are grouped into MOP blocks of
+    ``mop_width`` lines that stay in the same row/bank; successive
+    blocks rotate across banks, then ranks, then advance the row.  Bit
+    layout (LSB -> MSB)::
+
+        offset : mop_block(column low) : bank : bank_group : rank :
+        column_high : row
+    """
+
+    def __init__(self, org: DramOrganization, mop_width: int = 4) -> None:
+        super().__init__(org)
+        if mop_width <= 0 or org.columns_per_row % mop_width != 0:
+            raise ValueError(
+                f"mop_width {mop_width} must divide columns/row "
+                f"({org.columns_per_row})"
+            )
+        self.mop_width = mop_width
+
+    def decode(self, phys_addr: int) -> DramAddress:
+        org = self.org
+        line = phys_addr // org.cacheline_bytes
+        col_blocks = org.columns_per_row // self.mop_width
+        col_low, bank, bank_group, rank, col_high, row = self._split(
+            line,
+            self.mop_width,
+            org.banks_per_group,
+            org.bank_groups,
+            org.ranks,
+            col_blocks,
+        )
+        column = col_high * self.mop_width + col_low
+        return DramAddress(
+            channel=0,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row % org.rows_per_bank,
+            column=column,
+        )
+
+    def encode(self, addr: DramAddress) -> int:
+        org = self.org
+        col_high, col_low = divmod(addr.column, self.mop_width)
+        line = addr.row
+        line = line * (org.columns_per_row // self.mop_width) + col_high
+        line = line * org.ranks + addr.rank
+        line = line * org.bank_groups + addr.bank_group
+        line = line * org.banks_per_group + addr.bank
+        line = line * self.mop_width + col_low
+        return line * org.cacheline_bytes
+
+
+def make_mapping(name: str, org: DramOrganization) -> AddressMapping:
+    """Factory used by configuration files: ``linear`` or ``mop``."""
+    if name == "linear":
+        return LinearMapping(org)
+    if name == "mop":
+        return MopMapping(org)
+    raise ValueError(f"unknown address mapping {name!r}")

@@ -1,0 +1,70 @@
+"""Channel/rank aggregation of banks.
+
+The reproduction models a single channel (as in the paper's Table 3).
+The :class:`Channel` owns the flat bank array, the shared data bus and
+the channel-wide blocking window that REF and RFMab commands impose —
+that blocking window *is* the paper's timing channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+
+
+class Channel:
+    """One DDR5 channel: banks plus channel-global timing state."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.banks: List[Bank] = [
+            Bank(config, bank_id) for bank_id in range(config.organization.total_banks)
+        ]
+        self.bus_free_at: float = 0.0      # shared data bus occupancy
+        self.blocked_until: float = 0.0    # REF / RFMab channel-wide blocking
+        self.rfm_count: int = 0            # total RFMs issued (any provenance)
+
+    def bank(self, flat_bank_id: int) -> Bank:
+        """The bank at a flat channel-wide index."""
+        return self.banks[flat_bank_id]
+
+    def __iter__(self) -> Iterator[Bank]:
+        return iter(self.banks)
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    # ------------------------------------------------------------------
+    # Channel-wide blocking (REF / RFMab)
+    # ------------------------------------------------------------------
+    def block(self, start: float, duration: float) -> float:
+        """Block the whole channel for ``duration`` starting at ``start``.
+
+        All banks' ``ready_at`` are pushed past the window and every
+        open row is closed (RFMab/REFab require all banks precharged).
+        Returns the time the window ends.
+        """
+        end = start + duration
+        self.blocked_until = max(self.blocked_until, end)
+        for bank in self.banks:
+            if bank.open_row is not None:
+                bank.precharge(start)
+            bank.ready_at = max(bank.ready_at, end)
+        self.bus_free_at = max(self.bus_free_at, end)
+        return end
+
+    def block_bank(self, flat_bank_id: int, start: float, duration: float) -> float:
+        """Block a single bank (per-bank RFM extension, Section 7.2)."""
+        end = start + duration
+        bank = self.banks[flat_bank_id]
+        if bank.open_row is not None:
+            bank.precharge(start)
+        bank.ready_at = max(bank.ready_at, end)
+        return end
+
+    def reset_all_counters(self) -> None:
+        """tREFW-aligned PRAC counter reset across all banks."""
+        for bank in self.banks:
+            bank.reset_all_counters()

@@ -1,0 +1,173 @@
+"""Post-hoc DRAM timing-constraint verification.
+
+The controller computes command times procedurally; this module
+re-checks a recorded command stream against the JEDEC-style constraint
+set, independently of how the times were produced.  Tests feed real
+controller traces through the checker so any scheduling bug that
+violates device timing is caught structurally rather than by spot
+assertions.
+
+Checked constraints (per bank unless noted):
+
+* ACT -> ACT      >= tRC
+* ACT -> PRE      >= tRAS
+* PRE -> ACT      >= tRP
+* ACT -> RD/WR    >= tRCD
+* RD  -> PRE      >= tRTP
+* channel blocking: no command may issue inside a REF (tRFC) or
+  RFMab (tRFMab) window, and those windows require all banks closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DramConfig
+
+
+@dataclass
+class TimingViolation:
+    """One detected constraint violation."""
+
+    constraint: str
+    bank_id: int
+    time: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.constraint}] bank {self.bank_id} @ {self.time:.1f}ns: {self.detail}"
+
+
+@dataclass
+class _BankTrace:
+    last_act: float = float("-inf")
+    last_pre: float = float("-inf")
+    last_cas: float = float("-inf")
+    open_row: Optional[int] = None
+
+
+class TimingChecker:
+    """Validates an ordered command stream against the timing config."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.violations: List[TimingViolation] = []
+        self._banks: Dict[int, _BankTrace] = {}
+        self._blocked_until = float("-inf")
+        self._last_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    def check(
+        self, commands: List[Command], sort: bool = True
+    ) -> List[TimingViolation]:
+        """Run all commands through the checker; returns violations.
+
+        Controller logs append commands in *computation* order; banks
+        are computed independently, so the stream is sorted by issue
+        time first (``sort=False`` checks the raw order).
+        """
+        if sort:
+            commands = sorted(commands, key=lambda c: c.issue_time)
+        for command in commands:
+            self.feed(command)
+        return self.violations
+
+    def feed(self, command: Command) -> None:
+        """Check a single command against the accumulated state."""
+        if command.issue_time < self._last_time - 1e-9:
+            self._fail("ORDER", command, "commands out of time order")
+        self._last_time = max(self._last_time, command.issue_time)
+        handler = {
+            CommandKind.ACT: self._on_act,
+            CommandKind.PRE: self._on_pre,
+            CommandKind.RD: self._on_cas,
+            CommandKind.WR: self._on_cas,
+            CommandKind.REF: self._on_block,
+            CommandKind.RFM_AB: self._on_block,
+            CommandKind.RFM_PB: self._on_rfm_pb,
+        }[command.kind]
+        handler(command)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    def _bank(self, bank_id: int) -> _BankTrace:
+        return self._banks.setdefault(bank_id, _BankTrace())
+
+    def _fail(self, constraint: str, command: Command, detail: str) -> None:
+        self.violations.append(
+            TimingViolation(
+                constraint=constraint,
+                bank_id=command.bank_id,
+                time=command.issue_time,
+                detail=detail,
+            )
+        )
+
+    def _check_not_blocked(self, command: Command) -> None:
+        if command.issue_time < self._blocked_until - 1e-9:
+            self._fail(
+                "BLOCKED",
+                command,
+                f"issued during a channel-blocking window ending at "
+                f"{self._blocked_until:.1f}",
+            )
+
+    def _on_act(self, command: Command) -> None:
+        timing = self.config.timing
+        self._check_not_blocked(command)
+        bank = self._bank(command.bank_id)
+        t = command.issue_time
+        if t - bank.last_act < timing.tRC - 1e-9:
+            self._fail("tRC", command, f"ACT only {t - bank.last_act:.1f}ns after ACT")
+        if bank.open_row is not None:
+            self._fail("OPEN", command, "ACT with a row already open")
+        if t - bank.last_pre < timing.tRP - 1e-9:
+            self._fail("tRP", command, f"ACT only {t - bank.last_pre:.1f}ns after PRE")
+        bank.last_act = t
+        bank.open_row = command.row
+
+    def _on_pre(self, command: Command) -> None:
+        timing = self.config.timing
+        bank = self._bank(command.bank_id)
+        t = command.issue_time
+        if t - bank.last_act < timing.tRAS - 1e-9:
+            self._fail("tRAS", command, f"PRE only {t - bank.last_act:.1f}ns after ACT")
+        if bank.last_cas > bank.last_act and t - bank.last_cas < timing.tRTP - 1e-9:
+            self._fail("tRTP", command, f"PRE only {t - bank.last_cas:.1f}ns after CAS")
+        bank.last_pre = t
+        bank.open_row = None
+
+    def _on_cas(self, command: Command) -> None:
+        timing = self.config.timing
+        self._check_not_blocked(command)
+        bank = self._bank(command.bank_id)
+        t = command.issue_time
+        if bank.open_row is None:
+            self._fail("CLOSED", command, "CAS with no open row")
+        elif command.row >= 0 and command.row != bank.open_row:
+            self._fail("ROW", command, f"CAS to row {command.row}, open {bank.open_row}")
+        if t - bank.last_act < timing.tRCD - 1e-9:
+            self._fail("tRCD", command, f"CAS only {t - bank.last_act:.1f}ns after ACT")
+        bank.last_cas = t
+
+    def _on_block(self, command: Command) -> None:
+        timing = self.config.timing
+        self._check_not_blocked(command)
+        duration = (
+            timing.tRFC if command.kind is CommandKind.REF else timing.tRFMab
+        )
+        for bank in self._banks.values():
+            bank.open_row = None
+            bank.last_pre = max(bank.last_pre, command.issue_time)
+        self._blocked_until = command.issue_time + duration
+
+    def _on_rfm_pb(self, command: Command) -> None:
+        timing = self.config.timing
+        bank = self._bank(command.bank_id)
+        bank.open_row = None
+        bank.last_pre = max(bank.last_pre, command.issue_time + timing.tRFMpb)

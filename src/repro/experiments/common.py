@@ -1,0 +1,161 @@
+"""Shared experiment plumbing: design builders and run-scale control."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import geometric_mean
+from repro.analysis.tb_window import tb_window_for_nrh
+from repro.cpu.system import System, SystemResult
+from repro.dram.config import DramConfig, ddr5_8000b
+from repro.mitigations import (
+    AboOnlyPolicy,
+    AcbRfmPolicy,
+    NoMitigationPolicy,
+    TpracPolicy,
+)
+from repro.mitigations.acb_rfm import AcbRfmPolicy as _Acb
+from repro.workloads.catalog import CATALOG, workload_names
+from repro.workloads.synthetic import homogeneous_traces
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale experiments (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def default_requests_per_core() -> int:
+    """Per-core DRAM request budget for the current scale."""
+    return 20_000 if full_scale() else 2_500
+
+
+def default_workloads(limit: Optional[int] = None) -> List[str]:
+    """A category-balanced workload subset for quick runs; all 50+ when
+    REPRO_FULL=1."""
+    if full_scale() and limit is None:
+        return sorted(CATALOG)
+    names = (
+        workload_names("H")[:6] + workload_names("M")[:3] + workload_names("L")[:3]
+    )
+    if limit is not None:
+        names = names[:limit]
+    return names
+
+
+@dataclass
+class DesignPoint:
+    """One (design, N_RH) operating point for the performance studies."""
+
+    design: str               # none / abo_only / abo_acb / tprac / tprac_noreset
+    nrh: int
+    tref_per_trefi: float = 0.0
+    prac_level: int = 1
+
+    def label(self) -> str:
+        """Short unique identifier used as the results-matrix key."""
+        suffix = f"+tref{self.tref_per_trefi:g}" if self.tref_per_trefi else ""
+        return f"{self.design}{suffix}@{self.nrh}"
+
+
+def build_system(
+    point: DesignPoint,
+    traces,
+    config: Optional[DramConfig] = None,
+    max_requests_per_core: Optional[int] = None,
+) -> System:
+    """Instantiate the simulated system for a design point."""
+    config = config or ddr5_8000b()
+    with_reset = point.design != "tprac_noreset"
+    config = config.with_prac(
+        nbo=point.nrh, prac_level=point.prac_level, reset_on_refresh=with_reset
+    )
+    enable_abo = True
+    if point.design == "none":
+        policy = NoMitigationPolicy()
+        enable_abo = False
+    elif point.design == "abo_only":
+        policy = AboOnlyPolicy()
+    elif point.design == "abo_acb":
+        policy = AcbRfmPolicy(bat=_Acb.bat_for_threshold(point.nrh))
+    elif point.design in ("tprac", "tprac_noreset"):
+        choice = tb_window_for_nrh(point.nrh, config=config, with_reset=with_reset)
+        policy = TpracPolicy(tb_window=choice.tb_window)
+    else:
+        raise ValueError(f"unknown design {point.design!r}")
+    return System(
+        traces,
+        config=config,
+        policy=policy,
+        enable_abo=enable_abo,
+        tref_per_trefi=point.tref_per_trefi,
+    )
+
+
+@dataclass
+class PerfRow:
+    """Normalized performance of one workload under one design."""
+
+    workload: str
+    design: str
+    normalized: float
+    baseline_ipc: float
+    design_ipc: float
+    rfms: int
+
+
+def run_perf_matrix(
+    designs: Sequence[DesignPoint],
+    workloads: Optional[Sequence[str]] = None,
+    cores: int = 4,
+    requests_per_core: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, List[PerfRow]]:
+    """Run each workload under the baseline and every design.
+
+    Returns design-label -> rows.  Normalization baseline is the
+    PRAC-without-ABO system (the paper's Figure 10 baseline).
+    """
+    workloads = list(workloads or default_workloads())
+    requests = requests_per_core or default_requests_per_core()
+    out: Dict[str, List[PerfRow]] = {p.label(): [] for p in designs}
+    for name in workloads:
+        traces = homogeneous_traces(name, cores=cores, num_accesses=requests, seed=seed)
+        baseline_point = DesignPoint(design="none", nrh=designs[0].nrh)
+        base = build_system(baseline_point, traces).run()
+        for point in designs:
+            result = build_system(point, traces).run()
+            out[point.label()].append(
+                PerfRow(
+                    workload=name,
+                    design=point.label(),
+                    normalized=result.total_ipc / base.total_ipc,
+                    baseline_ipc=base.total_ipc,
+                    design_ipc=result.total_ipc,
+                    rfms=result.rfm_total,
+                )
+            )
+    return out
+
+
+def geomean_normalized(rows: List[PerfRow]) -> float:
+    """Geometric mean of the rows' normalized performance."""
+    return geometric_mean([row.normalized for row in rows])
+
+
+def format_perf_table(matrix: Dict[str, List[PerfRow]]) -> str:
+    """Per-workload normalized performance plus geomean, per design."""
+    designs = list(matrix)
+    workloads = [row.workload for row in matrix[designs[0]]]
+    lines = ["workload".ljust(18) + "".join(d.rjust(22) for d in designs)]
+    for index, workload in enumerate(workloads):
+        cells = [matrix[d][index].normalized for d in designs]
+        lines.append(
+            workload.ljust(18) + "".join(f"{c:22.4f}" for c in cells)
+        )
+    lines.append(
+        "GEOMEAN".ljust(18)
+        + "".join(f"{geomean_normalized(matrix[d]):22.4f}" for d in designs)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Figure 7: worst-case (Feinting) TMAX vs TB-Window.
+
+Pure analysis — Equations (2)-(5) of the paper evaluated exactly.
+Expected values for the DDR5 32Gb device (and matched by this model):
+
+================  ==========  =============
+TB-Window         with reset  without reset
+================  ==========  =============
+0.25 tREFI            105          118
+1    tREFI            572          736
+4    tREFI           2138         3220
+================  ==========  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.feinting import FeintingResult, tmax_sweep
+from repro.dram.config import DramConfig
+
+
+@dataclass
+class Fig7Result:
+    sweep: Dict[str, List[FeintingResult]]
+
+    def format_table(self) -> str:
+        """Render the regenerated rows as an aligned text table."""
+        lines = ["TB-Window(tREFI)   TMAX w/reset   TMAX w/o reset   OPT_R1(reset)"]
+        for with_r, without_r in zip(
+            self.sweep["with_reset"], self.sweep["without_reset"]
+        ):
+            lines.append(
+                f"{with_r.tb_window_trefi:16.2f}   {with_r.tmax:12d}   "
+                f"{without_r.tmax:14d}   {with_r.optimal_r1:13d}"
+            )
+        return "\n".join(lines)
+
+    def tmax(self, trefi_multiple: float, with_reset: bool) -> int:
+        """Look up TMAX for one TB-Window multiple and reset regime."""
+        key = "with_reset" if with_reset else "without_reset"
+        for result in self.sweep[key]:
+            if abs(result.tb_window_trefi - trefi_multiple) < 1e-9:
+                return result.tmax
+        raise KeyError(trefi_multiple)
+
+
+def run(
+    config: DramConfig = None,
+    tb_windows_trefi: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 2.0, 4.0),
+) -> Fig7Result:
+    """Run the experiment at the configured scale; returns the result object."""
+    return Fig7Result(sweep=tmax_sweep(config, tb_windows_trefi))

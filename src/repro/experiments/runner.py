@@ -1,0 +1,124 @@
+"""Experiment orchestration: run harnesses, persist results as JSON.
+
+``run_suite`` executes a named set of experiment harnesses and writes
+one JSON document per artifact into a results directory (plus a
+``summary.json`` index), so downstream tooling — plotting notebooks,
+regression dashboards — can consume reproduction results without
+re-running simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples/dict-keys to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _quick_experiments() -> Dict[str, Callable[[], Any]]:
+    """Laptop-scale runners for every artifact (lazy imports)."""
+
+    def fig3():
+        from repro.experiments import fig3_latency
+
+        return fig3_latency.run(nbo=256, hammer_rounds=2, duration_ns=200_000)
+
+    def table2():
+        from repro.experiments import table2_covert
+
+        return table2_covert.run(nbo_values=(256,), activity_bits=6, count_symbols=4)
+
+    def fig4():
+        from repro.experiments import fig4_side_channel
+
+        return fig4_side_channel.run(encryptions=150, record_timeline=False)
+
+    def fig7():
+        from repro.experiments import fig7_security
+
+        return fig7_security.run()
+
+    def fig8():
+        from repro.experiments import fig8_walkthrough
+
+        return fig8_walkthrough.run()
+
+    def fig10():
+        from repro.experiments import fig10_performance
+
+        return fig10_performance.run(
+            workloads=["433.milc", "453.povray"], requests_per_core=800
+        )
+
+    return {
+        "fig3": fig3,
+        "table2": table2,
+        "fig4": fig4,
+        "fig7": fig7,
+        "fig8": fig8,
+        "fig10": fig10,
+    }
+
+
+def run_suite(
+    output_dir: PathLike,
+    experiments: Optional[Iterable[str]] = None,
+    runners: Optional[Dict[str, Callable[[], Any]]] = None,
+) -> Dict[str, Path]:
+    """Run each named experiment and persist its result.
+
+    Returns a mapping of experiment name -> written JSON path.  Custom
+    ``runners`` may override or extend the quick defaults.
+    """
+    available = _quick_experiments()
+    if runners:
+        available.update(runners)
+    names = list(experiments) if experiments is not None else sorted(available)
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; have {sorted(available)}")
+
+    out_root = Path(output_dir)
+    out_root.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    summary: List[Dict[str, Any]] = []
+    for name in names:
+        started = time.time()
+        result = available[name]()
+        elapsed = time.time() - started
+        payload = {
+            "experiment": name,
+            "elapsed_seconds": round(elapsed, 3),
+            "result": _to_jsonable(result),
+        }
+        if hasattr(result, "format_table"):
+            payload["table"] = result.format_table()
+        path = out_root / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2))
+        written[name] = path
+        summary.append(
+            {"experiment": name, "file": path.name, "elapsed_seconds": payload["elapsed_seconds"]}
+        )
+    (out_root / "summary.json").write_text(json.dumps(summary, indent=2))
+    return written
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Read one persisted experiment result back."""
+    return json.loads(Path(path).read_text())

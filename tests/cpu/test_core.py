@@ -1,0 +1,86 @@
+"""Unit tests for the trace-driven core model."""
+
+import pytest
+
+from repro.controller.controller import MemoryController
+from repro.core.engine import Engine
+from repro.cpu.core import CoreParams, TraceCore
+from repro.cpu.trace import TraceCursor, synthesize_trace
+from repro.dram.config import small_test_config
+from repro.mitigations.base import NoMitigationPolicy
+
+
+def _run_core(records, params=None, max_requests=None):
+    engine = Engine()
+    controller = MemoryController(
+        engine, small_test_config(), policy=NoMitigationPolicy(),
+        enable_refresh=False, enable_abo=False,
+    )
+    core = TraceCore(
+        engine, controller, TraceCursor(records), core_id=0,
+        params=params, max_requests=max_requests,
+    )
+    core.start()
+    engine.run(until=100_000_000)
+    return core
+
+
+def test_core_completes_trace():
+    records = synthesize_trace([i * 8192 * 64 for i in range(10)], gap_insts=10)
+    core = _run_core(records)
+    assert core.finished
+    assert core.dram_requests == 10
+    assert core.insts_retired == 10 * 11
+
+
+def test_ipc_positive_and_bounded_by_width():
+    records = synthesize_trace([0] * 20, gap_insts=100)
+    core = _run_core(records)
+    assert 0 < core.ipc <= core.params.width
+
+
+def test_compute_heavy_trace_has_higher_ipc():
+    lean = _run_core(synthesize_trace([i * 2**20 for i in range(20)], gap_insts=2))
+    fat = _run_core(synthesize_trace([i * 2**20 for i in range(20)], gap_insts=500))
+    assert fat.ipc > lean.ipc
+
+
+def test_rob_window_limits_run_ahead():
+    """With rob_size=1 every miss serializes; bigger ROB overlaps."""
+    addresses = [i * 2**22 for i in range(30)]   # all different banks/rows
+    slow = _run_core(
+        synthesize_trace(addresses, gap_insts=0),
+        params=CoreParams(rob_size=1),
+    )
+    fast = _run_core(
+        synthesize_trace(addresses, gap_insts=0),
+        params=CoreParams(rob_size=352),
+    )
+    assert fast.finish_time < slow.finish_time
+
+
+def test_max_requests_budget_stops_core():
+    records = synthesize_trace([i * 2**20 for i in range(50)], gap_insts=1)
+    core = _run_core(records, max_requests=10)
+    assert core.finished
+    assert core.dram_requests == 10
+
+
+def test_start_is_idempotent():
+    records = synthesize_trace([0], gap_insts=1)
+    engine = Engine()
+    controller = MemoryController(
+        engine, small_test_config(), policy=NoMitigationPolicy(),
+        enable_refresh=False,
+    )
+    core = TraceCore(engine, controller, TraceCursor(records), core_id=0)
+    core.start()
+    core.start()
+    engine.run(until=10_000_000)
+    assert core.dram_requests == 1
+
+
+def test_empty_trace_finishes_immediately():
+    core = _run_core([])
+    assert core.finished
+    assert core.insts_retired == 0

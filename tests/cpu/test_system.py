@@ -1,0 +1,82 @@
+"""Integration tests for the multicore System wrapper."""
+
+import pytest
+
+from repro.cpu.system import System
+from repro.cpu.trace import synthesize_trace
+from repro.dram.config import small_test_config
+from repro.mitigations import NoMitigationPolicy, TpracPolicy
+from repro.workloads.synthetic import homogeneous_traces
+
+
+def _traces(cores=2, n=60):
+    return [
+        synthesize_trace([(c * 1000 + i) * 2**18 for i in range(n)], gap_insts=20)
+        for c in range(cores)
+    ]
+
+
+def test_system_runs_all_cores():
+    system = System(
+        _traces(), config=small_test_config(), policy=NoMitigationPolicy(),
+        enable_abo=False,
+    )
+    result = system.run()
+    assert len(result.ipcs) == 2
+    assert all(ipc > 0 for ipc in result.ipcs)
+    assert result.dram_requests == 120
+
+
+def test_empty_traces_rejected():
+    with pytest.raises(ValueError):
+        System([])
+
+
+def test_result_aggregates_rfms_by_provenance():
+    system = System(
+        _traces(),
+        config=small_test_config(),
+        policy=TpracPolicy(tb_window=2000.0),
+        enable_abo=False,
+    )
+    result = system.run()
+    assert result.rfm_total > 0
+    assert result.rfm_by_provenance.get("tb", 0) == result.rfm_total
+
+
+def test_tprac_slows_down_vs_baseline():
+    traces = homogeneous_traces("470.lbm", cores=2, num_accesses=2500)
+    base = System(traces, policy=NoMitigationPolicy(), enable_abo=False).run()
+    # Aggressively short TB-Window so several RFMs land in the run.
+    slow = System(traces, policy=TpracPolicy(tb_window=2000.0)).run()
+    assert slow.rfm_total > 3
+    assert slow.total_ipc < base.total_ipc
+    assert 0.70 < slow.total_ipc / base.total_ipc < 1.0
+
+
+def test_identical_runs_are_deterministic():
+    traces = _traces()
+
+    def once():
+        return System(
+            traces, config=small_test_config(), policy=NoMitigationPolicy(),
+            enable_abo=False,
+        ).run()
+
+    first, second = once(), once()
+    assert first.ipcs == second.ipcs
+    assert first.elapsed_ns == second.elapsed_ns
+
+
+def test_use_caches_reduces_dram_traffic():
+    # A tiny, reused footprint: caches should absorb repeats.
+    records = synthesize_trace([0, 64, 128] * 50, gap_insts=10)
+    no_cache = System(
+        [records], config=small_test_config(), policy=NoMitigationPolicy(),
+        enable_abo=False, use_caches=False,
+    ).run()
+    cached = System(
+        [records], config=small_test_config(), policy=NoMitigationPolicy(),
+        enable_abo=False, use_caches=True,
+    ).run()
+    assert cached.dram_requests < no_cache.dram_requests

@@ -1,0 +1,54 @@
+"""Unit tests for trace records and cursors."""
+
+import pytest
+
+from repro.cpu.trace import (
+    TraceCursor,
+    TraceRecord,
+    synthesize_trace,
+    total_instructions,
+)
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(gap_insts=-1, phys_addr=0)
+    with pytest.raises(ValueError):
+        TraceRecord(gap_insts=0, phys_addr=-4)
+
+
+def test_synthesize_trace_marks_writes():
+    trace = synthesize_trace([0, 64, 128, 192], gap_insts=5, write_every=2)
+    assert [r.is_write for r in trace] == [False, True, False, True]
+    assert all(r.gap_insts == 5 for r in trace)
+
+
+def test_synthesize_readonly_by_default():
+    trace = synthesize_trace([0, 64])
+    assert not any(r.is_write for r in trace)
+
+
+def test_cursor_iterates_once_without_loop():
+    cursor = TraceCursor(synthesize_trace([0, 64]))
+    assert cursor.next().phys_addr == 0
+    assert cursor.next().phys_addr == 64
+    assert cursor.next() is None
+    assert cursor.exhausted
+
+
+def test_cursor_loops_when_asked():
+    cursor = TraceCursor(synthesize_trace([0, 64]), loop=True)
+    addrs = [cursor.next().phys_addr for _ in range(5)]
+    assert addrs == [0, 64, 0, 64, 0]
+    assert cursor.laps == 2
+    assert not cursor.exhausted
+
+
+def test_empty_looping_cursor_returns_none():
+    cursor = TraceCursor([], loop=True)
+    assert cursor.next() is None
+
+
+def test_total_instructions():
+    trace = synthesize_trace([0, 64], gap_insts=9)
+    assert total_instructions(trace) == 20

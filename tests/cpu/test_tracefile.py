@@ -1,0 +1,54 @@
+"""Tests for trace file I/O."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import TraceRecord, synthesize_trace
+from repro.cpu.tracefile import dump_trace, load_trace, roundtrip
+
+
+def test_roundtrip_preserves_records():
+    records = synthesize_trace([0, 64, 4096], gap_insts=7, write_every=2)
+    assert roundtrip(records) == records
+
+
+def test_dump_format(tmp_path):
+    path = tmp_path / "trace.txt"
+    count = dump_trace([TraceRecord(3, 0x1000, True)], path)
+    assert count == 1
+    text = path.read_text()
+    assert "3 0x1000 W" in text
+    assert text.startswith("#")
+
+
+def test_load_from_path(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# comment\n5 0x40 R\n\n0 64 W\n")
+    records = load_trace(path)
+    assert records == [
+        TraceRecord(5, 0x40, False),
+        TraceRecord(0, 64, True),
+    ]
+
+
+def test_load_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="line 2"):
+        load_trace(io.StringIO("1 0x0 R\nbad line with too many fields here\n"))
+
+
+def test_load_rejects_bad_kind():
+    with pytest.raises(ValueError, match="R or W"):
+        load_trace(io.StringIO("1 0x0 X\n"))
+
+
+def test_decimal_addresses_accepted():
+    records = load_trace(io.StringIO("0 128 R\n"))
+    assert records[0].phys_addr == 128
+
+
+def test_large_trace_roundtrip(tmp_path):
+    records = synthesize_trace(range(0, 64000, 64), gap_insts=1)
+    path = tmp_path / "big.txt"
+    dump_trace(records, path)
+    assert load_trace(path) == records

@@ -1,0 +1,72 @@
+"""Unit tests for the refresh scheduler and TREF slots."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.dram.config import small_test_config
+from repro.dram.rank import Channel
+from repro.dram.refresh import RefreshScheduler
+
+
+def _setup(tref_per_trefi=0.0):
+    engine = Engine()
+    config = small_test_config()
+    channel = Channel(config)
+    refresh = RefreshScheduler(engine, channel, config, tref_per_trefi=tref_per_trefi)
+    return engine, config, channel, refresh
+
+
+def test_refresh_fires_every_trefi():
+    engine, config, channel, refresh = _setup()
+    refresh.start()
+    engine.run(until=10.5 * config.timing.tREFI)
+    assert refresh.refresh_count == 10
+
+
+def test_refresh_blocks_channel_for_trfc():
+    engine, config, channel, refresh = _setup()
+    refresh.start()
+    engine.run(until=1.5 * config.timing.tREFI)
+    assert channel.blocked_until == config.timing.tREFI + config.timing.tRFC
+
+
+def test_tref_rate_quarter_fires_every_fourth_refresh():
+    engine, config, channel, refresh = _setup(tref_per_trefi=0.25)
+    seen = []
+    refresh.on_tref.append(seen.append)
+    refresh.start()
+    engine.run(until=8.5 * config.timing.tREFI)
+    assert refresh.tref_count == 2
+    assert len(seen) == 2
+
+
+def test_tref_rate_one_fires_every_refresh():
+    engine, config, channel, refresh = _setup(tref_per_trefi=1.0)
+    refresh.start()
+    engine.run(until=5.5 * config.timing.tREFI)
+    assert refresh.tref_count == 5
+
+
+def test_invalid_tref_rate_rejected():
+    engine = Engine()
+    config = small_test_config()
+    with pytest.raises(ValueError):
+        RefreshScheduler(engine, Channel(config), config, tref_per_trefi=1.5)
+
+
+def test_refw_hook_fires_at_refresh_window():
+    engine, config, channel, refresh = _setup()
+    times = []
+    refresh.on_refw.append(times.append)
+    refresh.start()
+    engine.run(until=config.timing.tREFW * 2.5)
+    assert len(times) == 2
+    assert times[0] == pytest.approx(config.timing.tREFW)
+
+
+def test_start_is_idempotent():
+    engine, config, channel, refresh = _setup()
+    refresh.start()
+    refresh.start()
+    engine.run(until=1.5 * config.timing.tREFI)
+    assert refresh.refresh_count == 1

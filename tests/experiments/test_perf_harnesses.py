@@ -1,0 +1,44 @@
+"""Small-scale tests for the remaining performance harnesses."""
+
+import pytest
+
+from repro.experiments import fig11_prac_levels, fig12_tref, fig13_nrh, fig14_reset
+
+TINY = dict(workloads=["433.milc", "453.povray"], requests_per_core=800)
+
+
+def test_fig11_flat_across_levels():
+    result = fig11_prac_levels.run(prac_levels=(1, 4), **TINY)
+    for design in ("abo_only", "tprac"):
+        one = result.geomean(1, design)
+        four = result.geomean(4, design)
+        assert abs(one - four) < 0.02
+    assert "PRAC-1" in result.format_table()
+
+
+def test_fig12_tref_monotone():
+    result = fig12_tref.run(tref_rates=(0.0, 1.0), **TINY)
+    assert result.geomean(1.0) >= result.geomean(0.0) - 0.003
+    assert result.slowdown_pct(1.0) <= result.slowdown_pct(0.0) + 0.3
+    assert "TREF" in result.format_table()
+
+
+def test_fig13_threshold_monotone():
+    result = fig13_nrh.run(nrh_values=(256, 2048), **TINY)
+    assert result.slowdown_pct(256, "tprac") > result.slowdown_pct(2048, "tprac")
+    assert result.slowdown_pct(2048, "abo_only") < 1.0
+    assert result.format_table()
+
+
+def test_fig14_reset_allows_longer_window():
+    result = fig14_reset.run(nrh_values=(512,), **TINY)
+    assert result.windows[(512, True)] >= result.windows[(512, False)]
+    assert result.format_table()
+
+
+def test_design_point_labels():
+    from repro.experiments.common import DesignPoint
+
+    assert DesignPoint(design="tprac", nrh=512).label() == "tprac@512"
+    labelled = DesignPoint(design="tprac", nrh=512, tref_per_trefi=0.5).label()
+    assert "tref0.5" in labelled

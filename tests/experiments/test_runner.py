@@ -1,0 +1,66 @@
+"""Tests for the experiment runner / JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import _to_jsonable, load_result, run_suite
+
+
+def test_unknown_experiment_rejected(tmp_path):
+    with pytest.raises(KeyError):
+        run_suite(tmp_path, experiments=["fig99"])
+
+
+def test_runs_selected_experiments_and_writes_json(tmp_path):
+    written = run_suite(tmp_path, experiments=["fig7", "fig8"])
+    assert set(written) == {"fig7", "fig8"}
+    for path in written.values():
+        payload = load_result(path)
+        assert "result" in payload and "table" in payload
+        assert payload["elapsed_seconds"] >= 0
+    summary = json.loads((tmp_path / "summary.json").read_text())
+    assert [entry["experiment"] for entry in summary] == ["fig7", "fig8"]
+
+
+def test_fig7_payload_contains_expected_values(tmp_path):
+    written = run_suite(tmp_path, experiments=["fig7"])
+    payload = load_result(written["fig7"])
+    assert "572" in payload["table"]
+    sweeps = payload["result"]["sweep"]
+    tmaxes = [entry["tmax"] for entry in sweeps["with_reset"]]
+    assert 572 in tmaxes
+
+
+def test_custom_runner_overrides(tmp_path):
+    class FakeResult:
+        def format_table(self):
+            return "fake"
+
+    written = run_suite(
+        tmp_path,
+        experiments=["custom"],
+        runners={"custom": FakeResult},
+    )
+    payload = load_result(written["custom"])
+    assert payload["table"] == "fake"
+
+
+def test_to_jsonable_handles_nested_structures():
+    from dataclasses import dataclass
+
+    @dataclass
+    class Point:
+        x: int
+        y: float
+
+    converted = _to_jsonable({(1, 2): [Point(1, 2.5), {"k": (3,)}]})
+    assert converted == {"(1, 2)": [{"x": 1, "y": 2.5}, {"k": [3]}]}
+
+
+def test_to_jsonable_falls_back_to_repr():
+    class Weird:
+        def __repr__(self):
+            return "<weird>"
+
+    assert _to_jsonable(Weird()) == "<weird>"

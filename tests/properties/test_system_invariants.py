@@ -1,0 +1,92 @@
+"""Property tests: whole-system invariants under randomized traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.probes import bank_address
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemRequest
+from repro.core.engine import Engine
+from repro.dram.config import small_test_config
+from repro.dram.timing import TimingChecker
+from repro.mitigations.base import NoMitigationPolicy
+from repro.mitigations.tprac import TpracPolicy
+
+
+def _drive_random(mc, accesses):
+    """Replay (bank, row, is_write) tuples as a dependent chain."""
+    state = {"i": 0}
+
+    def issue(req=None):
+        if state["i"] >= len(accesses):
+            return
+        bank, row, is_write = accesses[state["i"]]
+        state["i"] += 1
+        mc.enqueue(
+            MemRequest(
+                phys_addr=bank_address(mc, bank, row),
+                is_write=is_write,
+                on_complete=issue,
+            )
+        )
+
+    issue()
+    mc.engine.run(until=500_000_000)
+    return state["i"]
+
+
+ACCESS = st.tuples(
+    st.integers(0, 3), st.integers(0, 12), st.booleans()
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(accesses=st.lists(ACCESS, min_size=1, max_size=80))
+def test_no_request_is_lost_or_duplicated(accesses):
+    mc = MemoryController(
+        Engine(), small_test_config(), policy=NoMitigationPolicy(),
+        enable_abo=False, enable_refresh=False,
+    )
+    served = _drive_random(mc, accesses)
+    assert served == len(accesses)
+    assert mc.stats.requests_served == len(accesses)
+    assert mc.stats.reads + mc.stats.writes == len(accesses)
+    assert mc.scheduler.pending() == 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(accesses=st.lists(ACCESS, min_size=5, max_size=60))
+def test_random_traffic_is_timing_clean(accesses):
+    """Any random dependent chain yields a JEDEC-legal command trace."""
+    config = small_test_config(nbo=10**6).with_prac(nbo=10**6)
+    mc = MemoryController(
+        Engine(), config, policy=TpracPolicy(tb_window=3000.0),
+        enable_refresh=True, log_commands=True,
+    )
+    _drive_random(mc, accesses)
+    checker = TimingChecker(config)
+    checker.check(mc.command_log)
+    assert checker.ok, checker.violations[:3]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    accesses=st.lists(ACCESS, min_size=1, max_size=60),
+    window=st.floats(min_value=800.0, max_value=6000.0),
+)
+def test_tprac_counters_bounded_by_window_capacity(accesses, window):
+    """No counter can exceed what fits between two TB-RFM pops plus the
+    pre-existing backlog — and with the queue always tracking the max,
+    the peak stays below 2x the per-window activation capacity once the
+    defense is active."""
+    config = small_test_config(nbo=10**6).with_prac(nbo=10**6)
+    mc = MemoryController(
+        Engine(), config, policy=TpracPolicy(tb_window=window),
+        enable_refresh=False,
+    )
+    _drive_random(mc, accesses * 4)
+    peak = max(
+        (max(bank.counters.values(), default=0) for bank in mc.channel),
+        default=0,
+    )
+    acts_per_window = window / 70.0
+    assert peak <= max(2 * acts_per_window, len(accesses) * 4)

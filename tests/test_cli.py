@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_every_experiment_has_a_command():
+    expected = {
+        "fig3", "table2", "fig4", "fig5", "fig7", "fig9",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "table5",
+    }
+    assert set(COMMANDS) == expected
+
+
+def test_list_prints_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_fig7_runs_and_prints_values(capsys):
+    assert main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "572" in out and "736" in out
+    assert "TMAX vs TB-Window" in out
+
+
+def test_table2_with_custom_nbo(capsys):
+    assert main(["table2", "--nbo", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "Activity-Based" in out
+    assert "Activation-Count-Based" in out
+    assert " 512" not in out.split("Kbps")[0]
+
+
+def test_fig10_with_small_scale(capsys):
+    code = main([
+        "fig10", "--requests", "500",
+        "--workloads", "433.milc", "453.povray",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "GEOMEAN" in out
+    assert "433.milc" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])

@@ -1,0 +1,51 @@
+"""Tests for heterogeneous workload mixes."""
+
+import pytest
+
+from repro.workloads.mixes import (
+    NAMED_MIXES,
+    cloudsuite_mix,
+    heterogeneous_traces,
+    named_mix,
+)
+
+
+def test_heterogeneous_traces_one_per_name():
+    traces = heterogeneous_traces(["429.mcf", "453.povray"], num_accesses=100)
+    assert len(traces) == 2
+    assert all(len(t) == 100 for t in traces)
+
+
+def test_heterogeneous_footprints_disjoint():
+    traces = heterogeneous_traces(["429.mcf", "429.mcf"], num_accesses=200)
+    a = {r.phys_addr for r in traces[0]}
+    b = {r.phys_addr for r in traces[1]}
+    assert not (a & b)
+
+
+def test_intensity_difference_visible_in_mix():
+    traces = heterogeneous_traces(["429.mcf", "453.povray"], num_accesses=300)
+    mcf_insts = sum(r.gap_insts + 1 for r in traces[0])
+    povray_insts = sum(r.gap_insts + 1 for r in traces[1])
+    assert povray_insts > 20 * mcf_insts
+
+
+def test_cloudsuite_mix_has_four_threads():
+    traces = cloudsuite_mix(num_accesses=50)
+    assert len(traces) == 4
+
+
+def test_named_mixes_resolve():
+    for name in NAMED_MIXES:
+        traces = named_mix(name, num_accesses=20)
+        assert len(traces) == len(NAMED_MIXES[name])
+
+
+def test_unknown_mix_raises():
+    with pytest.raises(KeyError):
+        named_mix("mix_unknown", 10)
+
+
+def test_empty_names_rejected():
+    with pytest.raises(ValueError):
+        heterogeneous_traces([], 10)
