@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify smoke test suite bench
+
+verify:            ## tier-1 tests + 2-artifact parallel suite run
+	./scripts/verify.sh
+
+smoke:             ## fast regression net only (collection/registry/runner/CLI)
+	$(PYTHON) -m pytest -q -m smoke
+
+test:              ## full tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+suite:             ## all registered artifacts, parallel + cached
+	$(PYTHON) -m repro.cli suite --out results
+
+bench:             ## per-artifact regeneration benchmarks
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

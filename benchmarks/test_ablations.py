@@ -9,7 +9,7 @@
    stall, cutting TPRAC's slowdown.
 """
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.attacks.probes import bank_address
 from repro.controller.controller import MemoryController

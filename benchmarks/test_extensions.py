@@ -1,6 +1,6 @@
 """Benches for the paper's worked example and Section 7 alternatives."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.attacks.acb_channel import AcbRfmChannel
 from repro.attacks.feinting_sim import FeintingAttack

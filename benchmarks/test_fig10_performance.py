@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 10 (normalized performance at N_RH=1024)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig10_performance
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 11 (PRAC-level sensitivity)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig11_prac_levels
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 12 (Targeted-Refresh rate sensitivity)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig12_tref
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 13 (N_RH sweep, all designs)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig13_nrh
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 14 (counter-reset policy sensitivity)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig14_reset
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 3 (ABO-induced latency timelines)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig3_latency
 

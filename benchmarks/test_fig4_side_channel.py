@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 4 (AES side-channel attack instance)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig4_side_channel
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 5 (key-byte sweep, no defense)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig5_key_sweep
 

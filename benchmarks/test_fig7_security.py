@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 7 (Feinting TMAX vs TB-Window)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig7_security
 

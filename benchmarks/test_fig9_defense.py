@@ -1,6 +1,6 @@
 """Bench: regenerate Figure 9 (side channel with/without TPRAC)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import fig9_defense
 

@@ -1,6 +1,6 @@
 """Capstone bench: the full reproduction scorecard."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments.scorecard import run
 

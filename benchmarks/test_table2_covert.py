@@ -1,6 +1,6 @@
 """Bench: regenerate Table 2 (covert channel period and bitrate)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import table2_covert
 

@@ -1,6 +1,6 @@
 """Bench: regenerate Table 5 (energy overhead per N_RH)."""
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 from repro.experiments import table5_energy
 

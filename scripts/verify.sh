@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Cheap regression net: tier-1 tests must collect cleanly and pass,
+# and the parallel suite executor must complete a 2-artifact run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: full test suite =="
+python -m pytest -x -q
+
+echo "== suite: 2-artifact parallel run =="
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+python -m repro.cli suite --jobs 2 --only fig7 fig8 --out "$out_dir" --no-cache
+
+echo "verify: OK"

@@ -1,18 +1,34 @@
-"""Storage overhead accounting (Section 6.8).
+"""Storage accounting and experiment-result persistence.
 
-TPRAC's controller-side state is a single RFM Interval Register per
-memory controller holding the TB-Window.  24 bits suffice to express
-intervals up to ~half a tREFW at DRAM-clock granularity.  The in-DRAM
-cost is the single-entry mitigation queue per bank (row address +
-activation count), which prior PRAC designs already require.
+Two kinds of "storage" live here:
+
+* Hardware storage-overhead accounting (paper Section 6.8): TPRAC's
+  controller-side state is a single RFM Interval Register per memory
+  controller holding the TB-Window.  24 bits suffice to express
+  intervals up to ~half a tREFW at DRAM-clock granularity.  The
+  in-DRAM cost is the single-entry mitigation queue per bank (row
+  address + activation count), which prior PRAC designs already
+  require.
+
+* On-disk result storage for the experiment suite: atomic JSON writes,
+  content-hash cache keys, and the incrementally-flushed
+  ``summary.json`` index that makes interrupted suite runs resumable.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
 
 from repro.dram.config import DramConfig, ddr5_8000b
+
+PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
@@ -49,3 +65,93 @@ def storage_overhead_bits(config: DramConfig = None) -> StorageOverhead:
         queue_bits_per_bank=row_bits + count_bits,
         banks=org.total_banks,
     )
+
+
+# ----------------------------------------------------------------------
+# Experiment-result persistence
+
+
+def atomic_write_json(path: PathLike, payload: Any) -> Path:
+    """Serialize ``payload`` and atomically replace ``path``.
+
+    A crash mid-write must never leave a truncated JSON document behind
+    — readers (resumed suites, dashboards) always see either the old or
+    the new file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def content_key(payload: Any) -> str:
+    """Deterministic sha256 over a JSON-able payload (cache identity)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class SummaryIndex:
+    """The ``summary.json`` index of a suite results directory.
+
+    Entries are recorded as each experiment finishes and the file is
+    rewritten (atomically) on every record, so a killed or crashed
+    suite still leaves a consistent index of everything that completed.
+    Entries keep the caller-requested experiment order regardless of
+    parallel completion order.
+    """
+
+    FILENAME = "summary.json"
+
+    def __init__(self, root: PathLike, order: Iterable[str] = ()) -> None:
+        self.root = Path(root)
+        self.order: List[str] = list(order)
+        self.entries: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    @classmethod
+    def load(cls, root: PathLike) -> "SummaryIndex":
+        """Read an existing index (tolerates missing/corrupt/wrong-shape files)."""
+        index = cls(root)
+        try:
+            rows = json.loads(index.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return index
+        if not isinstance(rows, list):
+            return index
+        for entry in rows:
+            if not isinstance(entry, dict) or "experiment" not in entry:
+                continue
+            name = entry["experiment"]
+            index.order.append(name)
+            index.entries[name] = entry
+        return index
+
+    def record(self, entry: Dict[str, Any], flush: bool = True) -> None:
+        """Add/replace one experiment's entry; flush to disk by default."""
+        name = entry["experiment"]
+        if name not in self.order:
+            self.order.append(name)
+        self.entries[name] = entry
+        if flush:
+            self.flush()
+
+    def flush(self) -> Path:
+        """Rewrite ``summary.json`` with every recorded entry."""
+        rows = [self.entries[n] for n in self.order if n in self.entries]
+        return atomic_write_json(self.path, rows)

@@ -7,10 +7,16 @@ Usage::
     python -m repro.cli table2 --nbo 256 512
     python -m repro.cli fig10 --requests 3000 --workloads 433.milc 470.lbm
     python -m repro.cli all
+    python -m repro.cli suite --jobs 8 --only fig10 table2
+    python -m repro.cli suite --out results/ --full --no-cache
 
-Each subcommand runs the matching harness from
+Each artifact subcommand runs the matching harness from
 :mod:`repro.experiments` and prints the regenerated rows/series,
 plus an ASCII rendering where the paper's artifact is a plot.
+
+``suite`` runs the registered artifact harnesses through the parallel,
+fault-tolerant, cached orchestrator (:mod:`repro.experiments.runner`)
+and persists JSON results + a ``summary.json`` index.
 """
 
 from __future__ import annotations
@@ -157,12 +163,31 @@ def _run_table5(args) -> str:
     return table5_energy.run(**_perf_args(args)).format_table()
 
 
+def _run_fig8(args) -> str:
+    from repro.experiments import fig8_walkthrough
+
+    return fig8_walkthrough.run(nbo=args.nbo[0] if args.nbo else 100).format_table()
+
+
+def _run_scorecard(args) -> str:
+    from repro.experiments import scorecard
+
+    return scorecard.run().format_table()
+
+
+def _run_obfuscation(args) -> str:
+    from repro.experiments import obfuscation_defense
+
+    return obfuscation_defense.run().format_table()
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig3": _run_fig3,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
     "fig7": _run_fig7,
+    "fig8": _run_fig8,
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
@@ -170,7 +195,69 @@ COMMANDS: Dict[str, Callable] = {
     "fig13": _run_fig13,
     "fig14": _run_fig14,
     "table5": _run_table5,
+    "scorecard": _run_scorecard,
+    "obfuscation": _run_obfuscation,
 }
+
+
+def _run_suite(args) -> int:
+    """``suite`` subcommand: parallel cached run over registered artifacts."""
+    from repro.experiments import registry, runner
+
+    if args.only is not None and not args.only:
+        print("error: --only given but no artifact names followed", file=sys.stderr)
+        return 2
+    artifact_flags = [
+        flag
+        for flag, on in (
+            ("--nbo", args.nbo is not None),
+            ("--requests", args.requests is not None),
+            ("--workloads", args.workloads is not None),
+        )
+        if on
+    ]
+    if artifact_flags:
+        print(
+            f"error: not applicable to 'suite': {', '.join(artifact_flags)} "
+            "(scale is controlled by --full and the registry's ARTIFACT kwargs)",
+            file=sys.stderr,
+        )
+        return 2
+    started = time.time()
+    try:
+        runner.run_suite(
+            args.out,
+            experiments=args.only or None,
+            jobs=args.jobs,
+            scale="full" if args.full else "quick",
+            use_cache=not args.no_cache,
+            force=args.force,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    # summary.json keeps history across runs; report/exit only on the
+    # artifacts this invocation actually covered.
+    requested = set(args.only) if args.only else set(registry.discover())
+    statuses = {
+        entry["experiment"]: entry
+        for entry in runner.load_summary(args.out)
+        if entry["experiment"] in requested
+    }
+    width = max(len(name) for name in statuses) if statuses else 0
+    for name, entry in statuses.items():
+        status = entry["status"]
+        if status == "error":
+            detail = f"{entry['error']['type']}: {entry['error']['message']}"
+        else:
+            detail = f"{entry.get('elapsed_seconds', 0.0):8.3f}s  {entry.get('file', '')}"
+        print(f"{name:<{width}}  {status:<7}  {detail}")
+    errors = sum(1 for entry in statuses.values() if entry["status"] == "error")
+    print(
+        f"suite: {len(statuses) - errors}/{len(statuses)} artifacts ok "
+        f"in {time.time() - started:.1f}s -> {args.out}"
+    )
+    return 1 if errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,8 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "list"],
-        help="which artifact to regenerate",
+        choices=sorted(COMMANDS) + ["all", "list", "suite"],
+        help="which artifact to regenerate ('suite' for the parallel runner)",
     )
     parser.add_argument(
         "--nbo", type=int, nargs="*", help="Back-Off threshold(s) where applicable"
@@ -193,16 +280,58 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", nargs="*", help="workload names (default: balanced subset)"
     )
+    suite = parser.add_argument_group("suite options")
+    suite.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for 'suite' (default: cpu count)",
+    )
+    suite.add_argument(
+        "--only", nargs="*", metavar="NAME",
+        help="restrict 'suite' to these artifacts (default: all registered)",
+    )
+    suite.add_argument(
+        "--out", default="results", help="results directory for 'suite'"
+    )
+    suite.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely (neither read nor write it)",
+    )
+    suite.add_argument(
+        "--force", action="store_true",
+        help="re-run even on a cache hit and refresh the cache entry",
+    )
+    suite.add_argument(
+        "--full", action="store_true",
+        help="paper-scale runs instead of quick laptop-scale",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment != "suite":
+        suite_only = {
+            "--jobs": args.jobs is not None,
+            "--only": bool(args.only),
+            "--out": args.out != "results",
+            "--no-cache": args.no_cache,
+            "--force": args.force,
+            "--full": args.full,
+        }
+        used = [flag for flag, on in suite_only.items() if on]
+        if used:
+            print(
+                f"error: {', '.join(used)} only applies to the 'suite' command",
+                file=sys.stderr,
+            )
+            return 2
     if args.experiment == "list":
         for name in sorted(COMMANDS):
             print(name)
         return 0
+    if args.experiment == "suite":
+        return _run_suite(args)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()

@@ -25,8 +25,14 @@ fig14        Counter-reset policy sensitivity
 table5       Energy overhead split per N_RH
 obfuscation  Section 7.1 random-RFM defense trade-off
 scorecard    all headline claims graded paper-vs-measured
-runner       run any subset, persist JSON results
+registry     declarative artifact registry (each module's ARTIFACT)
+runner       parallel/cached suite runner, persists JSON results
 ===========  =======================================================
+
+Every harness module exports an ``ARTIFACT``
+:class:`~repro.experiments.registry.ArtifactSpec` so the suite runner
+and CLI discover it automatically — new modules with a ``run()`` but
+no spec fail discovery loudly instead of silently dropping out.
 """
 
 from repro.experiments import common

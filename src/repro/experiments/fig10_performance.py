@@ -23,6 +23,7 @@ from repro.experiments.common import (
     geomean_normalized,
     run_perf_matrix,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -64,3 +65,12 @@ def run(
         requests_per_core=requests_per_core,
     )
     return Fig10Result(matrix=matrix, nrh=nrh)
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig10",
+    artifact="Figure 10",
+    title="Normalized performance at N_RH=1024, three designs",
+    module="repro.experiments.fig10_performance",
+    quick=dict(workloads=("433.milc", "453.povray"), requests_per_core=800),
+)

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     geomean_normalized,
     run_perf_matrix,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -62,3 +63,12 @@ def run(
             designs, workloads=workloads, requests_per_core=requests_per_core
         )
     return Fig11Result(by_level=by_level)
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig11",
+    artifact="Figure 11",
+    title="PRAC-level sensitivity (1/2/4 RFMs per ABO)",
+    module="repro.experiments.fig11_prac_levels",
+    quick=dict(workloads=("433.milc", "453.povray"), requests_per_core=600),
+)

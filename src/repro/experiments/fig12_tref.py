@@ -18,6 +18,7 @@ from repro.experiments.common import (
     geomean_normalized,
     run_perf_matrix,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -60,3 +61,16 @@ def run(
         )
         by_rate[rate] = matrix[point.label()]
     return Fig12Result(by_rate=by_rate)
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig12",
+    artifact="Figure 12",
+    title="Targeted-Refresh rate sensitivity",
+    module="repro.experiments.fig12_tref",
+    quick=dict(
+        tref_rates=(0.0, 0.5, 1.0),
+        workloads=("433.milc", "453.povray"),
+        requests_per_core=600,
+    ),
+)

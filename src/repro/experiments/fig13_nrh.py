@@ -19,6 +19,7 @@ from repro.experiments.common import (
     geomean_normalized,
     run_perf_matrix,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -65,3 +66,16 @@ def run(
             designs, workloads=workloads, requests_per_core=requests_per_core
         )
     return Fig13Result(by_nrh=by_nrh)
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig13",
+    artifact="Figure 13",
+    title="N_RH sweep 128..4096, all designs",
+    module="repro.experiments.fig13_nrh",
+    quick=dict(
+        nrh_values=(256, 1024, 4096),
+        workloads=("433.milc", "453.povray"),
+        requests_per_core=600,
+    ),
+)

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     geomean_normalized,
     run_perf_matrix,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -66,3 +67,16 @@ def run(
                 nrh, with_reset=with_reset
             ).tb_window_trefi
     return Fig14Result(by_point=by_point, windows=windows)
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig14",
+    artifact="Figure 14",
+    title="Counter-reset policy sensitivity",
+    module="repro.experiments.fig14_reset",
+    quick=dict(
+        nrh_values=(256, 1024),
+        workloads=("433.milc", "453.povray"),
+        requests_per_core=600,
+    ),
+)

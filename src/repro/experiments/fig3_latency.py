@@ -17,6 +17,7 @@ from repro.controller.controller import MemoryController
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b
 from repro.mitigations.abo_only import AboOnlyPolicy
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -125,3 +126,12 @@ def _one_timeline(
         latencies=probe.result.latencies,
         abo_count=controller.abo.alert_count,
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig3",
+    artifact="Figure 3",
+    title="ABO-induced latency timelines (1/2/4 RFMs per ABO)",
+    module="repro.experiments.fig3_latency",
+    quick=dict(nbo=256, hammer_rounds=2, duration_ns=200_000.0),
+)

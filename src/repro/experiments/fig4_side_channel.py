@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.attacks.side_channel import AesSideChannelAttack, SideChannelResult
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -59,3 +60,12 @@ def run(
         record_timeline=record_timeline,
     )
     return Fig4Result(attack=attack.run_single(target_byte=0, fixed_value=0))
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig4",
+    artifact="Figure 4",
+    title="AES side-channel attack timeline (p0=0, k0=0)",
+    module="repro.experiments.fig4_side_channel",
+    quick=dict(encryptions=150, record_timeline=False),
+)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.attacks.side_channel import AesSideChannelAttack, SideChannelResult
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -62,3 +63,12 @@ def run(
     return Fig5Result(
         results=attack.run_key_sweep(target_byte=0, key_values=key_values)
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig5",
+    artifact="Figure 5",
+    title="Key-byte sweep: victim histograms + trigger rows",
+    module="repro.experiments.fig5_key_sweep",
+    quick=dict(key_values=(0, 96, 224), encryptions=120),
+)

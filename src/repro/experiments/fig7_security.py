@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.feinting import FeintingResult, tmax_sweep
 from repro.dram.config import DramConfig
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -52,3 +53,11 @@ def run(
 ) -> Fig7Result:
     """Run the experiment at the configured scale; returns the result object."""
     return Fig7Result(sweep=tmax_sweep(config, tb_windows_trefi))
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig7",
+    artifact="Figure 7",
+    title="Feinting TMAX vs TB-Window (with/without counter reset)",
+    module="repro.experiments.fig7_security",
+)

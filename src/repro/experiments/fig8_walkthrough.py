@@ -19,6 +19,7 @@ from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.dram.config import small_test_config
 from repro.mitigations.tprac import TpracPolicy
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -134,3 +135,11 @@ def run(nbo: int = 100, acts_per_window: int = 40, epochs: int = 4) -> Fig8Resul
         target_peak=target_peak,
         nbo=nbo,
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig8",
+    artifact="Figure 8",
+    title="Executable walkthrough of the single-entry queue defense",
+    module="repro.experiments.fig8_walkthrough",
+)

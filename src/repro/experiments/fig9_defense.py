@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.fig5_key_sweep import Fig5Result
 from repro.experiments import fig5_key_sweep
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -54,3 +55,12 @@ def run(
             key_values=key_values, nbo=nbo, encryptions=encryptions, defense="tprac"
         ),
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="fig9",
+    artifact="Figure 9",
+    title="Side-channel key sweep with and without the TPRAC defense",
+    module="repro.experiments.fig9_defense",
+    quick=dict(key_values=(0, 224), encryptions=80),
+)

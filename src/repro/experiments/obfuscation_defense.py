@@ -24,6 +24,7 @@ from repro.mitigations.abo_only import AboOnlyPolicy
 from repro.mitigations.obfuscation import ObfuscationPolicy
 from repro.mitigations.tprac import TpracPolicy
 from repro.analysis.tb_window import required_tb_window
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -134,3 +135,12 @@ def _channel_against(
         error_rate=errors / len(message),
         rfms_observed=len(rfm_times),
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="obfuscation",
+    artifact="Section 7.1",
+    title="Random-RFM obfuscation defense trade-off",
+    module="repro.experiments.obfuscation_defense",
+    quick=dict(bits=10),
+)

@@ -1,21 +1,53 @@
-"""Experiment orchestration: run harnesses, persist results as JSON.
+"""Experiment orchestration: parallel, fault-tolerant, cached suite runs.
 
-``run_suite`` executes a named set of experiment harnesses and writes
-one JSON document per artifact into a results directory (plus a
-``summary.json`` index), so downstream tooling — plotting notebooks,
-regression dashboards — can consume reproduction results without
-re-running simulations.
+``run_suite`` executes any subset of the registered artifact harnesses
+(see :mod:`repro.experiments.registry` — all fourteen paper artifacts
+plus extensions) and writes one JSON document per artifact into a
+results directory, plus a ``summary.json`` index, so downstream
+tooling — plotting notebooks, regression dashboards — can consume
+reproduction results without re-running simulations.
+
+Execution model:
+
+* **Parallel** — registered experiments are independent simulations,
+  so they fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``jobs=N``, default ``os.cpu_count()``).  Custom in-process runners
+  (arbitrary callables) execute inline in the parent, since closures
+  do not survive pickling.
+* **Fault-isolated** — a crashing harness records a structured error
+  entry (type, message, traceback) in ``summary.json``; every other
+  experiment still completes and the suite does not raise.
+* **Cached** — each result embeds a content hash of experiment name +
+  run kwargs + package version.  Re-runs over the same results
+  directory skip artifacts whose hash matches (``use_cache=False`` or
+  ``force=True`` to override).
+* **Resumable** — ``summary.json`` is flushed atomically after every
+  completion, so an interrupted run leaves a consistent index and the
+  next invocation picks up where it stopped via the cache.
+
+CLI front-end: ``python -m repro.cli suite --jobs 8 --only fig10 table2``.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import importlib
 import json
+import os
 import time
+import traceback
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
-PathLike = Union[str, Path]
+from repro import __version__
+from repro.analysis.storage import (
+    PathLike,
+    SummaryIndex,
+    atomic_write_json,
+    content_key,
+)
+from repro.experiments import registry
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -31,94 +63,234 @@ def _to_jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def _quick_experiments() -> Dict[str, Callable[[], Any]]:
-    """Laptop-scale runners for every artifact (lazy imports)."""
+def _cache_key(name: str, module: str, kwargs: Dict[str, Any]) -> str:
+    """Content hash identifying one experiment run (for cache hits)."""
+    return content_key(
+        {
+            "experiment": name,
+            "module": module,
+            "kwargs": _to_jsonable(kwargs),
+            "version": __version__,
+        }
+    )
 
-    def fig3():
-        from repro.experiments import fig3_latency
 
-        return fig3_latency.run(nbo=256, hammer_rounds=2, duration_ns=200_000)
-
-    def table2():
-        from repro.experiments import table2_covert
-
-        return table2_covert.run(nbo_values=(256,), activity_bits=6, count_symbols=4)
-
-    def fig4():
-        from repro.experiments import fig4_side_channel
-
-        return fig4_side_channel.run(encryptions=150, record_timeline=False)
-
-    def fig7():
-        from repro.experiments import fig7_security
-
-        return fig7_security.run()
-
-    def fig8():
-        from repro.experiments import fig8_walkthrough
-
-        return fig8_walkthrough.run()
-
-    def fig10():
-        from repro.experiments import fig10_performance
-
-        return fig10_performance.run(
-            workloads=["433.milc", "453.povray"], requests_per_core=800
-        )
-
-    return {
-        "fig3": fig3,
-        "table2": table2,
-        "fig4": fig4,
-        "fig7": fig7,
-        "fig8": fig8,
-        "fig10": fig10,
+def _payload_from_result(name: str, result: Any, elapsed: float) -> Dict[str, Any]:
+    payload = {
+        "experiment": name,
+        "status": "ok",
+        "elapsed_seconds": round(elapsed, 3),
+        "result": _to_jsonable(result),
     }
+    if hasattr(result, "format_table"):
+        payload["table"] = result.format_table()
+    return payload
+
+
+def _error_payload(name: str, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "experiment": name,
+        "status": "error",
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        },
+    }
+
+
+def _execute_spec(name: str, module: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process entry point: import the harness and run it.
+
+    Takes only picklable arguments and returns only JSON-able payloads,
+    so it crosses the process-pool boundary in both directions; any
+    exception is folded into a structured error payload rather than
+    raised, which is what gives the suite per-experiment fault
+    isolation.
+    """
+    try:
+        run = getattr(importlib.import_module(module), "run")
+        started = time.perf_counter()
+        result = run(**kwargs)
+        return _payload_from_result(name, result, time.perf_counter() - started)
+    except Exception as exc:  # isolation boundary; Ctrl-C still propagates
+        return _error_payload(name, exc)
+
+
+def _execute_callable(name: str, runner: Callable[[], Any]) -> Dict[str, Any]:
+    """Inline (parent-process) execution path for custom runners."""
+    try:
+        started = time.perf_counter()
+        result = runner()
+        return _payload_from_result(name, result, time.perf_counter() - started)
+    except Exception as exc:  # isolation boundary; Ctrl-C still propagates
+        return _error_payload(name, exc)
+
+
+def _cached_payload(path: Path, key: str) -> Optional[Dict[str, Any]]:
+    """Return the previously persisted payload iff it matches ``key``."""
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("cache_key") != key or payload.get("status") != "ok":
+        return None
+    return payload
+
+
+def _invalidate_stale_result(path: Path) -> None:
+    """Strip the cache key from a result file after a failed re-run.
+
+    The old data stays readable, but a later cached run can no longer
+    mistake it for a fresh success and silently mask the failure.
+    """
+    if not path.exists():
+        return
+    try:
+        stale = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return
+    if stale.pop("cache_key", None) is not None:
+        atomic_write_json(path, stale)
+
+
+def _summary_entry(payload: Dict[str, Any], path: Path) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "experiment": payload["experiment"],
+        "status": payload["status"],
+    }
+    if payload["status"] == "error":
+        entry["error"] = dict(payload["error"])
+    else:
+        entry["file"] = path.name
+        entry["elapsed_seconds"] = payload.get("elapsed_seconds", 0.0)
+    return entry
 
 
 def run_suite(
     output_dir: PathLike,
     experiments: Optional[Iterable[str]] = None,
     runners: Optional[Dict[str, Callable[[], Any]]] = None,
+    *,
+    jobs: Optional[int] = None,
+    scale: str = "quick",
+    use_cache: bool = True,
+    force: bool = False,
 ) -> Dict[str, Path]:
     """Run each named experiment and persist its result.
 
-    Returns a mapping of experiment name -> written JSON path.  Custom
-    ``runners`` may override or extend the quick defaults.
+    Parameters
+    ----------
+    output_dir:
+        Results directory; one ``<name>.json`` per artifact plus the
+        incrementally-flushed ``summary.json`` index.
+    experiments:
+        Artifact names to run (default: every registered artifact plus
+        any custom ``runners``).  Unknown names raise ``KeyError``.
+    runners:
+        Custom ``name -> callable`` runners that override or extend the
+        registry; they execute inline in the parent process.
+    jobs:
+        Worker-process count for registered experiments (default
+        ``os.cpu_count()``); ``jobs=1`` runs everything inline.
+    scale:
+        ``"quick"`` (laptop-scale kwargs) or ``"full"`` (paper-scale).
+    use_cache / force:
+        With caching on (the default), artifacts whose content hash
+        already matches a result file in ``output_dir`` are skipped and
+        reported as ``"cached"``.  ``force=True`` re-runs them and
+        refreshes their cache entries; ``use_cache=False`` bypasses the
+        cache entirely — results are neither read from nor written to
+        it, so later cached runs re-execute them.
+
+    Returns a mapping of experiment name -> written JSON path for every
+    artifact that succeeded (fresh or cached).  Failures never abort
+    the suite; they appear as ``"error"`` entries in ``summary.json``.
     """
-    available = _quick_experiments()
-    if runners:
-        available.update(runners)
-    names = list(experiments) if experiments is not None else sorted(available)
-    unknown = [n for n in names if n not in available]
+    specs = registry.discover()
+    custom = dict(runners or {})
+    available = sorted(set(specs) | set(custom))
+    names = list(experiments) if experiments is not None else available
+    unknown = [n for n in names if n not in specs and n not in custom]
     if unknown:
-        raise KeyError(f"unknown experiments: {unknown}; have {sorted(available)}")
+        raise KeyError(f"unknown experiments: {unknown}; have {available}")
 
     out_root = Path(output_dir)
     out_root.mkdir(parents=True, exist_ok=True)
-    written: Dict[str, Path] = {}
-    summary: List[Dict[str, Any]] = []
+    # Merge with any existing index so a subset run (--only fig3) never
+    # erases the record of previously completed artifacts.
+    index = SummaryIndex.load(out_root)
     for name in names:
-        started = time.time()
-        result = available[name]()
-        elapsed = time.time() - started
-        payload = {
-            "experiment": name,
-            "elapsed_seconds": round(elapsed, 3),
-            "result": _to_jsonable(result),
-        }
-        if hasattr(result, "format_table"):
-            payload["table"] = result.format_table()
+        if name not in index.order:
+            index.order.append(name)
+    index.flush()
+    written: Dict[str, Path] = {}
+
+    def finish(payload: Dict[str, Any], key: Optional[str]) -> None:
+        name = payload["experiment"]
         path = out_root / f"{name}.json"
-        path.write_text(json.dumps(payload, indent=2))
-        written[name] = path
-        summary.append(
-            {"experiment": name, "file": path.name, "elapsed_seconds": payload["elapsed_seconds"]}
-        )
-    (out_root / "summary.json").write_text(json.dumps(summary, indent=2))
+        if payload["status"] == "ok":
+            if key is not None:
+                payload["cache_key"] = key
+            atomic_write_json(path, payload)
+            written[name] = path
+        else:
+            _invalidate_stale_result(path)
+        index.record(_summary_entry(payload, path))
+
+    # Partition: cache hits, pool-eligible registry specs, inline customs.
+    pooled: List[tuple] = []
+    inline: List[tuple] = []
+    for name in names:
+        if name in custom:
+            inline.append((name, custom[name]))
+            continue
+        spec = specs[name]
+        kwargs = spec.kwargs(scale)
+        key = _cache_key(name, spec.module, kwargs)
+        path = out_root / f"{name}.json"
+        cached = _cached_payload(path, key) if use_cache and not force else None
+        if cached is not None:
+            written[name] = path
+            entry = _summary_entry(cached, path)
+            entry["status"] = "cached"
+            index.record(entry)
+            continue
+        pooled.append((name, spec.module, kwargs, key if use_cache else None))
+
+    max_workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    if max_workers > 1 and len(pooled) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pooled))
+        ) as pool:
+            futures = {
+                pool.submit(_execute_spec, name, module, kwargs): (name, key)
+                for name, module, kwargs, key in pooled
+            }
+            for future in concurrent.futures.as_completed(futures):
+                name, key = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # e.g. BrokenProcessPool
+                    payload = _error_payload(name, exc)
+                finish(payload, key)
+    else:
+        for name, module, kwargs, key in pooled:
+            finish(_execute_spec(name, module, kwargs), key)
+
+    for name, runner in inline:
+        finish(_execute_callable(name, runner), None)
+
     return written
 
 
 def load_result(path: PathLike) -> Dict[str, Any]:
     """Read one persisted experiment result back."""
     return json.loads(Path(path).read_text())
+
+
+def load_summary(output_dir: PathLike) -> List[Dict[str, Any]]:
+    """Read a results directory's ``summary.json`` index."""
+    return json.loads((Path(output_dir) / SummaryIndex.FILENAME).read_text())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -196,3 +197,12 @@ def _check_performance(card: Scorecard) -> None:
         f"{abo_slowdown:.2f}%",
         abo_slowdown < 1.0,
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="scorecard",
+    artifact="Scorecard",
+    title="All headline claims graded paper-vs-measured",
+    module="repro.experiments.scorecard",
+    quick=dict(include_perf=False),
+)

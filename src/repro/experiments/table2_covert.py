@@ -29,6 +29,7 @@ from repro.attacks.covert import (
     ActivityChannel,
     CovertChannelResult,
 )
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -90,3 +91,12 @@ def _row(channel: str, nbo: int, result: CovertChannelResult) -> Table2Row:
         bitrate_kbps=result.bitrate_kbps,
         error_rate=result.error_rate,
     )
+
+
+ARTIFACT = ArtifactSpec(
+    name="table2",
+    artifact="Table 2",
+    title="Covert-channel period and bitrate vs N_BO",
+    module="repro.experiments.table2_covert",
+    quick=dict(nbo_values=(256,), activity_bits=6, count_symbols=4),
+)

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     default_workloads,
 )
 from repro.workloads.synthetic import homogeneous_traces
+from repro.experiments.registry import ArtifactSpec
 
 
 @dataclass
@@ -67,3 +68,16 @@ def run(
             non_mitigation_pct=sum(non_mitigation_pcts) / len(non_mitigation_pcts),
         )
     return Table5Result(by_nrh=by_nrh)
+
+
+ARTIFACT = ArtifactSpec(
+    name="table5",
+    artifact="Table 5",
+    title="Energy overhead split per N_RH",
+    module="repro.experiments.table5_energy",
+    quick=dict(
+        nrh_values=(256, 1024, 4096),
+        workloads=("433.milc", "453.povray"),
+        requests_per_core=600,
+    ),
+)

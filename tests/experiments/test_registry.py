@@ -1,0 +1,52 @@
+"""Tests for the declarative artifact registry."""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.experiments import registry
+
+pytestmark = pytest.mark.smoke
+
+
+def test_every_run_module_is_registered():
+    # Drift guard: any experiment module exposing run() must export an
+    # ARTIFACT spec (the old hand-rolled dict covered only 6 of 14).
+    registered_modules = {spec.module for spec in registry.discover().values()}
+    for dotted in registry.iter_experiment_modules():
+        module = importlib.import_module(dotted)
+        if callable(getattr(module, "run", None)):
+            assert dotted in registered_modules, f"{dotted} has run() but no ARTIFACT"
+
+
+def test_all_fourteen_paper_artifacts_registered():
+    specs = registry.discover()
+    assert len(registry.PAPER_ARTIFACTS) == 14
+    missing = set(registry.PAPER_ARTIFACTS) - set(specs)
+    assert not missing
+
+
+def test_specs_are_well_formed():
+    for name, spec in registry.discover().items():
+        assert spec.name == name
+        assert spec.artifact and spec.title
+        assert spec.module.startswith("repro.experiments.")
+        run = spec.load_runner()
+        signature = inspect.signature(run)
+        for scale in registry.SCALES:
+            signature.bind_partial(**spec.kwargs(scale))  # kwargs must fit run()
+
+
+def test_kwargs_returns_a_copy():
+    spec = registry.get("fig3")
+    kwargs = spec.kwargs("quick")
+    kwargs["nbo"] = -1
+    assert spec.kwargs("quick") != kwargs or spec.quick.get("nbo") != -1
+
+
+def test_unknown_scale_and_name_rejected():
+    with pytest.raises(ValueError):
+        registry.get("fig3").kwargs("huge")
+    with pytest.raises(KeyError):
+        registry.get("fig99")

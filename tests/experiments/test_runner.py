@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.experiments.runner import _to_jsonable, load_result, run_suite
+from repro.experiments.runner import (
+    _to_jsonable,
+    load_result,
+    load_summary,
+    run_suite,
+)
+
+pytestmark = pytest.mark.smoke
 
 
 def test_unknown_experiment_rejected(tmp_path):
@@ -64,3 +71,129 @@ def test_to_jsonable_falls_back_to_repr():
             return "<weird>"
 
     assert _to_jsonable(Weird()) == "<weird>"
+
+
+class _FakeResult:
+    def format_table(self):
+        return "fake"
+
+
+def _boom():
+    raise RuntimeError("deliberate harness crash")
+
+
+def test_failing_runner_is_isolated(tmp_path):
+    # A crashing harness must not abort the suite: the others complete
+    # and the failure lands as a structured error entry in summary.json.
+    written = run_suite(
+        tmp_path,
+        experiments=["boom", "ok"],
+        runners={"boom": _boom, "ok": _FakeResult},
+    )
+    assert set(written) == {"ok"}
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["ok"]["status"] == "ok"
+    assert summary["boom"]["status"] == "error"
+    assert summary["boom"]["error"]["type"] == "RuntimeError"
+    assert "deliberate harness crash" in summary["boom"]["error"]["message"]
+    assert "_boom" in summary["boom"]["error"]["traceback"]
+    assert not (tmp_path / "boom.json").exists()
+
+
+def test_summary_is_flushed_incrementally(tmp_path):
+    # Even when the *last* experiment fails, the earlier entry is
+    # already on disk — interrupted runs leave a consistent index.
+    run_suite(
+        tmp_path,
+        experiments=["ok", "boom"],
+        runners={"ok": _FakeResult, "boom": _boom},
+    )
+    summary = load_summary(tmp_path)
+    assert [e["experiment"] for e in summary] == ["ok", "boom"]
+
+
+def test_subset_run_preserves_existing_summary_entries(tmp_path):
+    # A later `--only`-style run must merge into summary.json, not
+    # erase the record of previously completed artifacts.
+    run_suite(tmp_path, experiments=["fig7", "fig8"])
+    run_suite(tmp_path, experiments=["fig8"], force=True)
+    summary = [e["experiment"] for e in load_summary(tmp_path)]
+    assert summary == ["fig7", "fig8"]
+
+
+def test_failed_rerun_invalidates_stale_cache(tmp_path):
+    # After a recorded failure, a later cached run must not resurrect
+    # the stale success without actually re-running the experiment.
+    run_suite(tmp_path, experiments=["fig8"])
+    run_suite(tmp_path, experiments=["fig8"], runners={"fig8": _boom})
+    assert "cache_key" not in load_result(tmp_path / "fig8.json")
+    run_suite(tmp_path, experiments=["fig8"])
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "ok"  # re-ran, not "cached"
+
+
+def test_cache_hit_skips_rerun(tmp_path):
+    first = run_suite(tmp_path, experiments=["fig8"])
+    stamp = first["fig8"].stat().st_mtime_ns
+    second = run_suite(tmp_path, experiments=["fig8"])
+    assert second["fig8"] == first["fig8"]
+    assert second["fig8"].stat().st_mtime_ns == stamp  # not rewritten
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "cached"
+
+
+def test_force_reruns_and_refreshes_cache(tmp_path):
+    first = run_suite(tmp_path, experiments=["fig8"])
+    stamp = first["fig8"].stat().st_mtime_ns
+    run_suite(tmp_path, experiments=["fig8"], force=True)
+    assert first["fig8"].stat().st_mtime_ns != stamp  # re-ran
+    assert "cache_key" in load_result(first["fig8"])
+    run_suite(tmp_path, experiments=["fig8"])
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "cached"  # force refreshed the cache
+
+
+def test_no_cache_bypasses_read_and_write(tmp_path):
+    run_suite(tmp_path, experiments=["fig8"], use_cache=False)
+    assert "cache_key" not in load_result(tmp_path / "fig8.json")
+    run_suite(tmp_path, experiments=["fig8"])  # nothing cached to hit
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "ok"
+
+
+def test_cache_misses_when_version_or_kwargs_change(tmp_path):
+    from repro.experiments import runner as runner_mod
+
+    run_suite(tmp_path, experiments=["fig8"])
+    payload = load_result(tmp_path / "fig8.json")
+    spec_key = payload["cache_key"]
+    assert spec_key == runner_mod._cache_key(
+        "fig8", "repro.experiments.fig8_walkthrough", {}
+    )
+    assert spec_key != runner_mod._cache_key(
+        "fig8", "repro.experiments.fig8_walkthrough", {"nbo": 200}
+    )
+
+
+def test_parallel_jobs_run_all_experiments(tmp_path):
+    # Exercise the real process-pool path (jobs>1, >1 registry specs).
+    written = run_suite(tmp_path, experiments=["fig7", "fig8"], jobs=2)
+    assert set(written) == {"fig7", "fig8"}
+    summary = load_summary(tmp_path)
+    # Requested order is preserved regardless of completion order.
+    assert [e["experiment"] for e in summary] == ["fig7", "fig8"]
+    assert all(e["status"] == "ok" for e in summary)
+    payload = load_result(written["fig7"])
+    assert "572" in payload["table"]
+
+
+def test_scale_feeds_the_cache_key():
+    from repro.experiments import registry
+    from repro.experiments import runner as runner_mod
+
+    spec = registry.get("table2")  # quick and full kwargs differ
+    keys = {
+        runner_mod._cache_key(spec.name, spec.module, spec.kwargs(scale))
+        for scale in registry.SCALES
+    }
+    assert len(keys) == 2

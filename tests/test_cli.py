@@ -1,16 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import COMMANDS, build_parser, main
+from repro.experiments import registry
+
+pytestmark = pytest.mark.smoke
 
 
-def test_every_experiment_has_a_command():
-    expected = {
-        "fig3", "table2", "fig4", "fig5", "fig7", "fig9",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "table5",
-    }
-    assert set(COMMANDS) == expected
+def test_every_registered_artifact_has_a_command():
+    # The CLI must not drift from the registry: every registered
+    # artifact is individually invocable.
+    assert set(COMMANDS) == set(registry.discover())
 
 
 def test_list_prints_commands(capsys):
@@ -49,3 +52,53 @@ def test_fig10_with_small_scale(capsys):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig99"])
+
+
+def test_suite_command_runs_selected_artifacts(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    code = main([
+        "suite", "--only", "fig7", "fig8", "--jobs", "2",
+        "--out", str(out_dir), "--no-cache",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "2/2 artifacts ok" in printed
+    assert (out_dir / "fig7.json").exists()
+    assert (out_dir / "fig8.json").exists()
+    summary = json.loads((out_dir / "summary.json").read_text())
+    assert [e["experiment"] for e in summary] == ["fig7", "fig8"]
+    assert all(e["status"] == "ok" for e in summary)
+
+
+def test_suite_exit_code_ignores_stale_entries_from_other_runs(tmp_path, capsys):
+    # summary.json keeps history; a passing subset run must not fail
+    # because an artifact from a *previous* run is recorded as error.
+    out_dir = tmp_path / "results"
+    out_dir.mkdir()
+    (out_dir / "summary.json").write_text(json.dumps([
+        {"experiment": "fig3", "status": "error",
+         "error": {"type": "RuntimeError", "message": "old failure"}},
+    ]))
+    code = main(["suite", "--only", "fig8", "--out", str(out_dir)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "fig3" not in printed
+    assert "1/1 artifacts ok" in printed
+    # ...but the stale entry is still preserved in the index itself.
+    summary = json.loads((out_dir / "summary.json").read_text())
+    assert {e["experiment"] for e in summary} == {"fig3", "fig8"}
+
+
+def test_suite_only_flags_rejected_on_other_commands(capsys):
+    assert main(["fig7", "--full"]) == 2
+    assert "--full" in capsys.readouterr().err
+    assert main(["list", "--jobs", "4"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_suite_command_reports_cache_hits(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    assert main(["suite", "--only", "fig8", "--out", str(out_dir)]) == 0
+    capsys.readouterr()
+    assert main(["suite", "--only", "fig8", "--out", str(out_dir)]) == 0
+    assert "cached" in capsys.readouterr().out

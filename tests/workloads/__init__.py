@@ -1,0 +1,1 @@
+"""Package marker: gives test modules unique import names."""
