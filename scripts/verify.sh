@@ -14,4 +14,13 @@ out_dir="$(mktemp -d)"
 trap 'rm -rf "$out_dir"' EXIT
 python -m repro.cli suite --jobs 2 --only fig7 fig8 --out "$out_dir" --no-cache
 
+echo "== campaign: 12-scenario smoke grid (pool + resume) =="
+camp_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir" "$camp_dir"' EXIT
+python -m repro.cli campaign --campaign smoke --trials 3 --jobs 2 --out "$camp_dir"
+# re-run with --resume: every scenario must be served from cache
+resume_out="$(python -m repro.cli campaign --campaign smoke --trials 3 --jobs 2 \
+    --out "$camp_dir" --resume)"
+grep -q cached <<<"$resume_out"
+
 echo "verify: OK"

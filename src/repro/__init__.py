@@ -18,7 +18,7 @@ Layered architecture (bottom-up):
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b, small_test_config

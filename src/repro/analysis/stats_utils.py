@@ -2,15 +2,19 @@
 
 The performance experiments are deterministic given a seed; running a
 few seeds gives a spread from synthetic-trace variation.  This module
-provides mean/stdev/confidence-interval summaries and a helper that
-repeats a seeded measurement function across seeds.
+provides mean/stdev/confidence-interval summaries, a helper that
+repeats a seeded measurement function across seeds, a streaming
+:class:`Welford` accumulator for trial engines that see values one at a
+time, and a seeded :func:`bootstrap_ci` for metrics whose distribution
+is too lumpy for the t-interval (attack success rates, error rates).
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 #: two-sided 95% t-critical values for small sample sizes (df = n-1)
 _T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
@@ -74,3 +78,80 @@ def compare_designs(
 ) -> Dict[str, Summary]:
     """Measure several designs over the same seeds."""
     return {name: across_seeds(fn, seeds) for name, fn in measures.items()}
+
+
+class Welford:
+    """Streaming mean/variance (Welford's algorithm).
+
+    Campaign trials complete in arbitrary pool order, so per-metric
+    aggregates are pushed one value at a time; this keeps the running
+    mean and M2 without storing the series and without catastrophic
+    cancellation.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the running aggregate."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0.0 below two samples."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> Summary:
+        """The equivalent :class:`Summary` (t-based 95% CI)."""
+        if self.n == 0:
+            raise ValueError("need at least one value")
+        if self.n == 1:
+            return Summary(n=1, mean=self.mean, stdev=0.0, ci95_half_width=0.0)
+        t_crit = _T95.get(self.n - 1, 1.96)
+        return Summary(
+            n=self.n,
+            mean=self.mean,
+            stdev=self.stdev,
+            ci95_half_width=t_crit * self.stdev / math.sqrt(self.n),
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 200,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI for the mean, deterministic given ``seed``.
+
+    Suits small-n campaign metrics whose values are bounded or discrete
+    (success indicators, error rates) where the t-interval's normality
+    assumption is at its worst.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(n_boot)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = min(n_boot - 1, max(0, int(math.floor(alpha * n_boot))))
+    hi_index = min(n_boot - 1, max(0, int(math.ceil((1.0 - alpha) * n_boot)) - 1))
+    return (means[lo_index], means[hi_index])

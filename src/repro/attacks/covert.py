@@ -92,12 +92,17 @@ class ActivityChannel:
         seed: int = 7,
         config: Optional[DramConfig] = None,
         spike_threshold_ns: float = 250.0,
+        policy_factory=AboOnlyPolicy,
     ) -> None:
         self.nbo = nbo
         rng = random.Random(seed)
         self.message = message or [rng.randrange(2) for _ in range(32)]
         self.config = config or _attack_config(nbo, prac_level)
         self.spike_threshold_ns = spike_threshold_ns
+        # The mitigation the channel runs against.  ABO-Only is the
+        # paper's Table 2 setting; campaign grids inject TPRAC & co. to
+        # measure how each defense degrades the channel.
+        self.policy_factory = policy_factory
         # Window: hammering a pair to N_BO takes 2*N_BO activations at
         # the dependent-chain conflict cadence (data return + tRP),
         # inflated by the refresh duty cycle, + the RFM burst + margin.
@@ -111,12 +116,20 @@ class ActivityChannel:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> CovertChannelResult:
-        """Run the experiment at the configured scale; returns the result object."""
+    def run(self, setup=None) -> CovertChannelResult:
+        """Run the experiment at the configured scale; returns the result object.
+
+        ``setup(engine, controller)``, when given, is called after the
+        system is built and before any channel event is scheduled —
+        campaign trials use it to splice background workload traffic
+        into the run as scheduling noise.
+        """
         engine = Engine()
         controller = MemoryController(
-            engine, self.config, policy=AboOnlyPolicy(), record_samples=False
+            engine, self.config, policy=self.policy_factory(), record_samples=False
         )
+        if setup is not None:
+            setup(engine, controller)
         sender = RowHammerSender(controller, bank=0, core_id=0)
         probe = LatencyProbe(controller, bank=4, mode="same_row", core_id=1)
         probe.start()
@@ -182,6 +195,7 @@ class ActivationCountChannel:
         seed: int = 11,
         config: Optional[DramConfig] = None,
         spike_threshold_ns: float = 250.0,
+        policy_factory=AboOnlyPolicy,
     ) -> None:
         self.nbo = nbo
         rng = random.Random(seed)
@@ -192,6 +206,7 @@ class ActivationCountChannel:
             raise ValueError("values must be in [0, N_BO)")
         self.config = config or _attack_config(nbo, prac_level)
         self.spike_threshold_ns = spike_threshold_ns
+        self.policy_factory = policy_factory
         timing = self.config.timing
         # Sender (2k accesses) + receiver (2(N_BO-k) accesses) both
         # alternate with decoys at the dependent-chain cadence,
@@ -205,12 +220,18 @@ class ActivationCountChannel:
         )
 
     # ------------------------------------------------------------------
-    def run(self) -> CovertChannelResult:
-        """Run the experiment at the configured scale; returns the result object."""
+    def run(self, setup=None) -> CovertChannelResult:
+        """Run the experiment at the configured scale; returns the result object.
+
+        ``setup(engine, controller)`` hooks in pre-run scheduling (e.g.
+        background workload noise), as on :meth:`ActivityChannel.run`.
+        """
         engine = Engine()
         controller = MemoryController(
-            engine, self.config, policy=AboOnlyPolicy(), record_samples=False
+            engine, self.config, policy=self.policy_factory(), record_samples=False
         )
+        if setup is not None:
+            setup(engine, controller)
         decoded: List[int] = []
         shared_bank = 0
 

@@ -1,0 +1,78 @@
+"""Built-in campaign grids.
+
+* ``security`` — the paper's security scorecard expressed as one grid:
+  both PRACLeak covert channels and the AES side channel, each against
+  the insecure baseline (ABO-Only) and the paper's defense (TPRAC),
+  across two Back-Off thresholds.  Twelve scenarios; the expected
+  picture is error-free/high-success attacks on ``abo_only`` and
+  degraded/blocked attacks on ``tprac``.
+* ``perf`` — mitigation overhead: every registry mitigation over a
+  small intensity-spanning workload set.
+* ``smoke`` — a selftest grid (12 scenarios, microseconds per trial)
+  used by CI and ``scripts/verify.sh`` to exercise the engine itself:
+  pool fan-out, aggregation, persistence, resume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.campaigns.grid import expand_grid
+from repro.campaigns.scenario import Scenario
+
+
+def security_axes() -> Dict[str, Sequence[Any]]:
+    """The security-scorecard grid: 3 attacks x 2 mitigations x 2 N_BO."""
+    return {
+        "attack": ["covert_activity", "covert_count", "aes_side_channel"],
+        "mitigation": ["abo_only", "tprac"],
+        "nbo": [128, 256],
+        # Per-attack tuning: small symbol/encryption budgets keep a
+        # quick grid quick; the *_count channel reads only ``symbols``,
+        # the AES attack only ``encryptions``.
+        "symbols": [6],
+        "encryptions": [150],
+    }
+
+
+def perf_axes() -> Dict[str, Sequence[Any]]:
+    """Mitigation overhead across the registry on a spanning workload set."""
+    return {
+        "attack": ["perf"],
+        "mitigation": ["abo_only", "abo_acb", "qprac", "tprac"],
+        "workload": ["433.milc", "401.bzip2", "453.povray"],
+        "nbo": [1024],
+        "requests_per_core": [600],
+    }
+
+
+def smoke_axes() -> Dict[str, Sequence[Any]]:
+    """A fast engine-exercising grid: 12 scenarios, trivial trials."""
+    return {
+        "attack": ["selftest"],
+        "mitigation": ["abo_only", "tprac", "qprac", "rfmpb"],
+        "nbo": [64, 128, 256],
+    }
+
+
+BUILTIN_CAMPAIGNS = {
+    "security": security_axes,
+    "perf": perf_axes,
+    "smoke": smoke_axes,
+}
+
+
+def builtin_names() -> List[str]:
+    """Sorted names of the built-in campaigns."""
+    return sorted(BUILTIN_CAMPAIGNS)
+
+
+def builtin_scenarios(name: str) -> List[Scenario]:
+    """Expand a built-in campaign grid by name."""
+    try:
+        axes = BUILTIN_CAMPAIGNS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; have {builtin_names()}"
+        ) from None
+    return expand_grid(axes)

@@ -1,0 +1,95 @@
+"""Grid expansion: axis lists -> concrete scenario instances.
+
+A *grid* is a mapping of axis name to the list of values to sweep,
+e.g. ``{"attack": ["aes_side_channel"], "mitigation": ["abo_only",
+"tprac"], "nbo": [128, 256]}``.  :func:`expand_grid` takes the
+cartesian product and returns validated :class:`Scenario` instances in
+deterministic order.  Axis names that are not scenario fields become
+per-scenario ``params`` entries, so attack tuning knobs (``symbols``,
+``encryptions``, ``crash_seeds``…) sweep exactly like first-class axes.
+
+:func:`parse_grid_tokens` turns CLI tokens (``nbo=128,256``) into such
+a mapping, coercing ints/floats/bools while leaving names as strings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.campaigns.scenario import Scenario
+
+#: First-class scenario fields an axis can address directly.
+SCENARIO_AXES = ("attack", "mitigation", "workload", "dram", "nbo", "prac_level")
+
+
+def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Scenario]:
+    """Cartesian-product the axes into validated scenarios.
+
+    Order is deterministic: axes iterate in their given (insertion)
+    order, values in their given order — so a grid expands to the same
+    scenario list on every run, which keeps content-hash IDs stable and
+    diffs readable.  Duplicate scenarios (identical specs reached by
+    different axis spellings) raise.
+    """
+    if "attack" not in axes:
+        raise ValueError("a grid needs an 'attack' axis")
+    names = list(axes)
+    value_lists = []
+    for name in names:
+        values = list(axes[name])
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        value_lists.append(values)
+
+    scenarios: List[Scenario] = []
+    seen: Dict[str, str] = {}
+    for combo in itertools.product(*value_lists):
+        point = dict(zip(names, combo))
+        spec = {k: v for k, v in point.items() if k in SCENARIO_AXES}
+        spec["params"] = {k: v for k, v in point.items() if k not in SCENARIO_AXES}
+        scenario = Scenario.from_dict(spec)
+        sid = scenario.scenario_id
+        if sid in seen:
+            raise ValueError(
+                f"duplicate scenario {scenario.label!r} (id {sid}) in grid"
+            )
+        seen[sid] = scenario.label
+        scenarios.append(scenario)
+    return scenarios
+
+
+def _coerce(token: str) -> Any:
+    """CLI string -> int/float/bool where it parses, else the string."""
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def parse_grid_tokens(tokens: Sequence[str]) -> Dict[str, List[Any]]:
+    """``["nbo=128,256", "mitigation=tprac"]`` -> axis mapping.
+
+    Each token is ``axis=v1,v2,...``; values are type-coerced
+    individually.  Repeating an axis raises (silently keeping the last
+    spelling would make sweeps lie about their size).
+    """
+    axes: Dict[str, List[Any]] = {}
+    for token in tokens:
+        name, eq, rest = token.partition("=")
+        name = name.strip()
+        if not eq or not name or not rest.strip():
+            raise ValueError(
+                f"bad grid token {token!r}; expected axis=value[,value...]"
+            )
+        if name in axes:
+            raise ValueError(f"axis {name!r} given twice")
+        axes[name] = [_coerce(part) for part in rest.split(",") if part != ""]
+        if not axes[name]:
+            raise ValueError(f"axis {name!r} has no values")
+    return axes

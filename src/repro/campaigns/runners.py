@@ -1,0 +1,262 @@
+"""Per-kind trial implementations behind the campaign engine.
+
+:func:`run_trial` maps one (:class:`Scenario`, seed) pair onto the
+repository's simulators and returns a flat ``{metric: number}`` dict:
+
+* ``perf`` — no attacker: the scenario's workload runs under the named
+  mitigation vs the PRAC-without-ABO baseline; the metric is the
+  paper's normalized-performance figure of merit.
+* ``covert_activity`` / ``covert_count`` — the PRACLeak covert
+  channels, run against the named mitigation (the registry policy is
+  injected into the channel's controller) with a seeded message and,
+  optionally, background workload traffic as scheduling noise.
+* ``aes_side_channel`` — the AES T-table key-recovery attack with a
+  seeded key; ``mitigation`` selects undefended (ABO-Only) vs TPRAC.
+* ``feinting`` — the executed worst-case Feinting attack against
+  TPRAC; checks the analytical bound holds.
+* ``selftest`` — a microsecond-scale deterministic kind used by smoke
+  grids and the fault-injection tests; ``crash_seeds`` makes chosen
+  trials raise so campaigns can prove their per-trial isolation.
+
+Every kind derives all randomness from the trial seed, so a scenario
+trial is bit-for-bit reproducible in any worker process.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaigns.scenario import NO_WORKLOAD, Scenario
+from repro.mitigations import make_policy
+from repro.mitigations.acb_rfm import AcbRfmPolicy
+from repro.mitigations.base import MitigationPolicy
+
+_TRIAL_KINDS: Dict[str, Callable[[Scenario, int], Dict[str, float]]] = {}
+
+
+def _kind(name: str):
+    def register(fn):
+        _TRIAL_KINDS[name] = fn
+        return fn
+    return register
+
+
+def run_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    """Run one seeded Monte Carlo trial; returns numeric metrics."""
+    scenario.validate()
+    return _TRIAL_KINDS[scenario.attack](scenario, seed)
+
+
+# ----------------------------------------------------------------------
+# Policy construction shared by the trial kinds
+# ----------------------------------------------------------------------
+def build_policy(scenario: Scenario, seed: int = 0) -> MitigationPolicy:
+    """Instantiate the scenario's mitigation, solving config-dependent
+    parameters (TB-Window, BAT) from the scenario's device config."""
+    name = scenario.mitigation
+    if name in ("tprac", "rfmpb"):
+        from repro.analysis.tb_window import required_tb_window
+
+        window = required_tb_window(scenario.dram_config(), scenario.nbo)
+        return make_policy(name, tb_window=window)
+    if name == "abo_acb":
+        return make_policy(name, bat=AcbRfmPolicy.bat_for_threshold(scenario.nbo))
+    if name == "obfuscation":
+        return make_policy(name, seed=seed)
+    return make_policy(name)
+
+
+# ----------------------------------------------------------------------
+# perf: mitigation overhead on a workload (no attacker)
+# ----------------------------------------------------------------------
+@_kind("perf")
+def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    from repro.cpu.system import System
+    from repro.workloads.synthetic import homogeneous_traces
+
+    if scenario.workload == NO_WORKLOAD:
+        raise ValueError("perf scenarios need a workload axis")
+    params = scenario.params
+    cores = int(params.get("cores", 2))
+    requests = int(params.get("requests_per_core", 600))
+    traces = homogeneous_traces(
+        scenario.workload, cores=cores, num_accesses=requests, seed=seed
+    )
+    config = scenario.dram_config()
+    baseline = System(
+        traces, config=config, policy=make_policy("none"), enable_abo=False
+    ).run()
+    mitigated = System(
+        traces,
+        config=config,
+        policy=build_policy(scenario, seed=seed),
+        enable_abo=scenario.mitigation != "none",
+    ).run()
+    return {
+        "normalized_perf": mitigated.total_ipc / baseline.total_ipc,
+        "ipc": mitigated.total_ipc,
+        "baseline_ipc": baseline.total_ipc,
+        "rfms": float(mitigated.rfm_total),
+    }
+
+
+# ----------------------------------------------------------------------
+# Covert channels (optionally with background workload noise)
+# ----------------------------------------------------------------------
+def _covert_noise_setup(scenario: Scenario, seed: int, total_ns: float):
+    """A ``run(setup=...)`` hook scheduling workload requests as noise,
+    or None when the scenario carries no background workload."""
+    accesses = int(scenario.params.get("noise_accesses", 200))
+    if scenario.workload == NO_WORKLOAD or accesses <= 0:
+        return None
+
+    def setup(engine, controller) -> None:
+        from repro.controller.request import MemRequest
+        from repro.workloads.catalog import get_workload
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        spec = get_workload(scenario.workload)
+        # core_offset pushes the noise footprint away from the attack rows.
+        trace = SyntheticWorkload(spec, seed=seed, core_offset=8).generate(
+            accesses
+        )
+        spacing = total_ns / (accesses + 1)
+        for index, record in enumerate(trace):
+            engine.schedule(
+                (index + 1) * spacing,
+                lambda r=record: controller.enqueue(
+                    MemRequest(
+                        phys_addr=r.phys_addr, is_write=r.is_write, core_id=3
+                    )
+                ),
+                label="workload-noise",
+            )
+
+    return setup
+
+
+def _covert_metrics(result) -> Dict[str, float]:
+    return {
+        "error_rate": result.error_rate,
+        "bitrate_kbps": result.bitrate_kbps,
+        "period_us": result.period_us,
+        "symbols": float(result.symbols),
+    }
+
+
+@_kind("covert_activity")
+def _covert_activity_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    from repro.attacks.covert import ActivityChannel
+
+    rng = random.Random(seed)
+    symbols = int(scenario.params.get("symbols", 8))
+    channel = ActivityChannel(
+        nbo=scenario.nbo,
+        prac_level=scenario.prac_level,
+        message=[rng.randrange(2) for _ in range(symbols)],
+        config=scenario.dram_config().with_prac(abo_act=0),
+        policy_factory=lambda: build_policy(scenario, seed=seed),
+    )
+    setup = _covert_noise_setup(scenario, seed, symbols * channel.window_ns)
+    return _covert_metrics(channel.run(setup=setup))
+
+
+@_kind("covert_count")
+def _covert_count_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    from repro.attacks.covert import ActivationCountChannel
+
+    rng = random.Random(seed)
+    symbols = int(scenario.params.get("symbols", 4))
+    channel = ActivationCountChannel(
+        nbo=scenario.nbo,
+        prac_level=scenario.prac_level,
+        values=[rng.randrange(scenario.nbo) for _ in range(symbols)],
+        config=scenario.dram_config().with_prac(abo_act=0),
+        policy_factory=lambda: build_policy(scenario, seed=seed),
+    )
+    setup = _covert_noise_setup(scenario, seed, symbols * channel.window_ns)
+    return _covert_metrics(channel.run(setup=setup))
+
+
+# ----------------------------------------------------------------------
+# AES side channel
+# ----------------------------------------------------------------------
+@_kind("aes_side_channel")
+def _aes_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    from repro.attacks.side_channel import AesSideChannelAttack
+
+    defense_by_mitigation: Dict[str, Optional[str]] = {
+        "none": None,
+        "abo_only": None,
+        "tprac": "tprac",
+    }
+    if scenario.mitigation not in defense_by_mitigation:
+        raise ValueError(
+            "aes_side_channel supports mitigation in "
+            f"{sorted(defense_by_mitigation)}, not {scenario.mitigation!r}"
+        )
+    rng = random.Random(seed)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    attack = AesSideChannelAttack(
+        key,
+        nbo=scenario.nbo,
+        prac_level=scenario.prac_level,
+        encryptions=int(scenario.params.get("encryptions", 150)),
+        defense=defense_by_mitigation[scenario.mitigation],
+        seed=seed,
+    )
+    result = attack.run_single(
+        int(scenario.params.get("target_byte", 0)),
+        int(scenario.params.get("fixed_value", 0)),
+    )
+    return {
+        "success": 1.0 if result.success else 0.0,
+        "recovered": 0.0 if result.recovered_nibble is None else 1.0,
+        "attacker_acts_on_trigger": float(result.attacker_acts_on_trigger),
+    }
+
+
+# ----------------------------------------------------------------------
+# Executed Feinting attack
+# ----------------------------------------------------------------------
+@_kind("feinting")
+def _feinting_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    from repro.attacks.feinting_sim import FeintingAttack
+
+    if scenario.mitigation != "tprac":
+        raise ValueError("feinting scenarios attack TPRAC; set mitigation=tprac")
+    result = FeintingAttack(
+        pool_size=int(scenario.params.get("pool_size", 16)),
+        nbo=scenario.nbo,
+    ).run()
+    return {
+        "defense_held": 1.0 if result.defense_held else 0.0,
+        "within_bound": 1.0 if result.within_bound else 0.0,
+        "target_peak": float(result.target_peak),
+        "alerts": float(result.alerts),
+    }
+
+
+# ----------------------------------------------------------------------
+# selftest: deterministic, microsecond-scale, crashable on demand
+# ----------------------------------------------------------------------
+def _crash_seeds(raw: Any) -> List[int]:
+    if raw is None:
+        return []
+    if isinstance(raw, (list, tuple)):
+        return [int(v) for v in raw]
+    if isinstance(raw, str):
+        return [int(v) for v in raw.split("+") if v]
+    return [int(raw)]
+
+
+@_kind("selftest")
+def _selftest_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
+    if seed in _crash_seeds(scenario.params.get("crash_seeds")):
+        raise RuntimeError(f"injected selftest crash (seed {seed})")
+    rng = random.Random(
+        seed * 1_000_003 + zlib.crc32(scenario.scenario_id.encode())
+    )
+    return {"value": rng.random()}

@@ -9,6 +9,12 @@ Usage::
     python -m repro.cli all
     python -m repro.cli suite --jobs 8 --only fig10 table2
     python -m repro.cli suite --out results/ --full --no-cache
+    python -m repro.cli suite --list
+    python -m repro.cli campaign --campaign security --trials 5 --jobs 8
+    python -m repro.cli campaign --grid attack=selftest mitigation=tprac,qprac \\
+        nbo=64,128 --trials 3 --out results/
+    python -m repro.cli campaign --grid attack=aes_side_channel \\
+        mitigation=abo_only,tprac nbo=128,256 --resume
 
 Each artifact subcommand runs the matching harness from
 :mod:`repro.experiments` and prints the regenerated rows/series,
@@ -16,7 +22,14 @@ plus an ASCII rendering where the paper's artifact is a plot.
 
 ``suite`` runs the registered artifact harnesses through the parallel,
 fault-tolerant, cached orchestrator (:mod:`repro.experiments.runner`)
-and persists JSON results + a ``summary.json`` index.
+and persists JSON results + a ``summary.json`` index; ``suite --list``
+prints the registry without running anything.
+
+``campaign`` expands a declarative attack×defense grid into scenarios
+(:mod:`repro.campaigns`) and runs batched seeded Monte Carlo trials
+per scenario on a process pool; ``--resume`` skips scenarios already
+persisted under their content-hash IDs, ``--list`` prints the expanded
+grid without running it.
 """
 
 from __future__ import annotations
@@ -200,10 +213,37 @@ COMMANDS: Dict[str, Callable] = {
 }
 
 
+def _list_artifacts() -> int:
+    """``suite --list``: print the registry without running anything."""
+    from repro.experiments import registry
+
+    specs = registry.discover()
+    width = max(len(name) for name in specs)
+    art_width = max(len(spec.artifact) for spec in specs.values())
+    for name in sorted(specs):
+        spec = specs[name]
+        kwargs = []
+        if spec.quick:
+            kwargs.append("quick: " + _format_kwargs(spec.quick))
+        if spec.full:
+            kwargs.append("full: " + _format_kwargs(spec.full))
+        detail = f"  [{'; '.join(kwargs)}]" if kwargs else ""
+        print(
+            f"{name:<{width}}  {spec.artifact:<{art_width}}  {spec.title}{detail}"
+        )
+    return 0
+
+
+def _format_kwargs(kwargs) -> str:
+    return ", ".join(f"{k}={v!r}" for k, v in sorted(kwargs.items()))
+
+
 def _run_suite(args) -> int:
     """``suite`` subcommand: parallel cached run over registered artifacts."""
     from repro.experiments import registry, runner
 
+    if args.list:
+        return _list_artifacts()
     if args.only is not None and not args.only:
         print("error: --only given but no artifact names followed", file=sys.stderr)
         return 2
@@ -260,6 +300,78 @@ def _run_suite(args) -> int:
     return 1 if errors else 0
 
 
+def _run_campaign(args) -> int:
+    """``campaign`` subcommand: declarative grid + Monte Carlo trials."""
+    from repro import campaigns
+
+    if args.grid is not None and not args.grid:
+        print("error: --grid given but no axis=values tokens followed",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.grid is not None:
+            scenarios = campaigns.expand_grid(
+                campaigns.parse_grid_tokens(args.grid)
+            )
+        else:
+            scenarios = campaigns.builtin_scenarios(args.campaign or "security")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.only:
+        tokens = list(args.only)
+        scenarios = [
+            s
+            for s in scenarios
+            if any(t in s.label or s.scenario_id.startswith(t) for t in tokens)
+        ]
+        if not scenarios:
+            print("error: --only matched no scenarios", file=sys.stderr)
+            return 2
+    if args.list:
+        width = max(len(s.label) for s in scenarios)
+        for scenario in scenarios:
+            print(f"{scenario.scenario_id}  {scenario.label:<{width}}")
+        print(f"{len(scenarios)} scenarios")
+        return 0
+
+    started = time.time()
+    trials = args.trials if args.trials is not None else 3
+    try:
+        result = campaigns.run_campaign(
+            scenarios,
+            args.out,
+            trials=trials,
+            jobs=args.jobs,
+            seed=args.seed or 0,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    width = max(len(label) for label in result.labels.values())
+    for scenario in scenarios:
+        sid = scenario.scenario_id
+        status = result.statuses[sid]
+        detail = ""
+        doc = campaigns.load_scenario_result(result.paths[sid])
+        if status != "cached":
+            detail = f"{doc.get('trials_ok', 0)}/{trials} trials ok"
+        means = "  ".join(
+            f"{name}={stats['mean']:.4g}"
+            for name, stats in doc.get("metrics", {}).items()
+        )
+        print(
+            f"{result.labels[sid]:<{width}}  {status:<7}  {detail:<14}  {means}"
+        )
+    print(
+        f"campaign: {result.scenarios_ok}/{len(result.statuses)} scenarios ok "
+        f"({trials} trials each) in {time.time() - started:.1f}s "
+        f"-> {result.output_dir}"
+    )
+    return 1 if result.had_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -268,8 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "list", "suite"],
-        help="which artifact to regenerate ('suite' for the parallel runner)",
+        choices=sorted(COMMANDS) + ["all", "campaign", "list", "suite"],
+        help=(
+            "which artifact to regenerate ('suite' for the parallel runner, "
+            "'campaign' for declarative scenario sweeps)"
+        ),
     )
     parser.add_argument(
         "--nbo", type=int, nargs="*", help="Back-Off threshold(s) where applicable"
@@ -280,18 +395,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", nargs="*", help="workload names (default: balanced subset)"
     )
-    suite = parser.add_argument_group("suite options")
-    suite.add_argument(
+    shared = parser.add_argument_group("suite/campaign shared options")
+    shared.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes for 'suite' (default: cpu count)",
+        help="worker processes (default: cpu count)",
     )
-    suite.add_argument(
+    shared.add_argument(
         "--only", nargs="*", metavar="NAME",
-        help="restrict 'suite' to these artifacts (default: all registered)",
+        help=(
+            "restrict 'suite' to these artifacts / 'campaign' to scenarios "
+            "whose label contains or id starts with any NAME"
+        ),
     )
-    suite.add_argument(
-        "--out", default="results", help="results directory for 'suite'"
+    shared.add_argument(
+        "--out", default="results", help="results directory"
     )
+    shared.add_argument(
+        "--list", action="store_true",
+        help=(
+            "print what would run — registered artifacts for 'suite', the "
+            "expanded grid for 'campaign' — without running anything"
+        ),
+    )
+    suite = parser.add_argument_group("suite options")
     suite.add_argument(
         "--no-cache", action="store_true",
         help="bypass the result cache entirely (neither read nor write it)",
@@ -304,34 +430,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="paper-scale runs instead of quick laptop-scale",
     )
+    campaign = parser.add_argument_group("campaign options")
+    campaign.add_argument(
+        "--grid", nargs="*", metavar="AXIS=V1,V2",
+        help=(
+            "grid axes, e.g. attack=aes_side_channel mitigation=abo_only,tprac "
+            "nbo=128,256; unknown axes become per-scenario params"
+        ),
+    )
+    campaign.add_argument(
+        "--campaign", default=None, metavar="NAME",
+        help="built-in campaign to run when no --grid is given "
+             "(security/perf/smoke; default security)",
+    )
+    campaign.add_argument(
+        "--trials", type=int, default=None,
+        help="Monte Carlo trials per scenario (default 3; trial t uses seed+t)",
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=None,
+        help="base seed for the trial sequence (default 0)",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios whose persisted results match their "
+             "content-hash cache key and trial count",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.experiment != "suite":
-        suite_only = {
-            "--jobs": args.jobs is not None,
-            "--only": bool(args.only),
-            "--out": args.out != "results",
-            "--no-cache": args.no_cache,
-            "--force": args.force,
-            "--full": args.full,
-        }
-        used = [flag for flag, on in suite_only.items() if on]
-        if used:
-            print(
-                f"error: {', '.join(used)} only applies to the 'suite' command",
-                file=sys.stderr,
-            )
-            return 2
+    flags_used = {
+        "--jobs": args.jobs is not None,
+        "--only": bool(args.only),
+        "--out": args.out != "results",
+        "--list": args.list,
+        "--no-cache": args.no_cache,
+        "--force": args.force,
+        "--full": args.full,
+        "--grid": args.grid is not None,
+        "--campaign": args.campaign is not None,
+        "--trials": args.trials is not None,
+        "--seed": args.seed is not None,
+        "--resume": args.resume,
+    }
+    allowed = {
+        "suite": {"--jobs", "--only", "--out", "--list", "--no-cache",
+                  "--force", "--full"},
+        "campaign": {"--jobs", "--only", "--out", "--list", "--grid",
+                     "--campaign", "--trials", "--seed", "--resume"},
+    }.get(args.experiment, set())
+    rejected = [
+        flag for flag, on in flags_used.items() if on and flag not in allowed
+    ]
+    if rejected:
+        applies = "'suite'/'campaign'" if not allowed else (
+            f"'{args.experiment}'"
+        )
+        scope = (
+            f"not applicable to {applies}"
+            if allowed
+            else "only applies to the 'suite' and 'campaign' commands"
+        )
+        print(f"error: {', '.join(rejected)} {scope}", file=sys.stderr)
+        return 2
     if args.experiment == "list":
         for name in sorted(COMMANDS):
             print(name)
         return 0
     if args.experiment == "suite":
         return _run_suite(args)
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()

@@ -1,0 +1,102 @@
+"""Shared process-pool execution with per-task fault isolation.
+
+Both orchestration layers — the artifact suite
+(:mod:`repro.experiments.runner`) and the scenario campaign engine
+(:mod:`repro.campaigns.trials`) — fan independent simulations out over
+a :class:`~concurrent.futures.ProcessPoolExecutor`.  This module holds
+the machinery they share so the two subsystems cannot drift:
+
+* **JSON-able payloads** — :func:`to_jsonable` converts arbitrary
+  result objects (dataclasses, tuples, non-string dict keys) into
+  plain JSON types, because everything crossing the pool boundary is
+  persisted to disk afterwards.
+* **Structured errors** — :func:`error_entry` folds an exception into a
+  ``{"type", "message", "traceback"}`` dict; a crashing task becomes a
+  recordable result instead of aborting the run.
+* **The pool loop** — :func:`map_tasks` runs module-level worker
+  functions over picklable argument tuples, yielding ``(key, payload)``
+  pairs in completion order.  Worker functions are expected to catch
+  their own exceptions (that captures the traceback *inside* the worker
+  process); failures of the future itself — e.g. a worker killed hard
+  enough to break the pool — are still folded into structured error
+  payloads, so one bad task never takes down the batch.
+
+Workers must be module-level functions and their arguments/payloads
+picklable; closures do not survive the pool boundary.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import traceback
+from typing import Any, Callable, Dict, Iterable, Iterator, Tuple
+
+__all__ = ["to_jsonable", "error_entry", "map_tasks"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples/dict-keys to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def error_entry(exc: BaseException, with_traceback: bool = True) -> Dict[str, str]:
+    """Fold an exception into the structured error dict persisted on disk."""
+    entry = {"type": type(exc).__name__, "message": str(exc)}
+    if with_traceback:
+        entry["traceback"] = traceback.format_exc()
+    return entry
+
+
+def map_tasks(
+    worker: Callable[..., Dict[str, Any]],
+    tasks: Iterable[Tuple[Any, Tuple[Any, ...]]],
+    *,
+    jobs: int = None,
+) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+    """Run ``worker(*args)`` for every ``(key, args)`` task.
+
+    Yields ``(key, payload)`` in completion order.  With ``jobs > 1``
+    and more than one task, work fans out over a process pool sized
+    ``min(jobs, len(tasks))`` (``jobs=None`` means ``os.cpu_count()``);
+    otherwise everything runs inline in the caller's process.
+
+    The worker should return a dict with a ``"status"`` key and never
+    raise (catch exceptions into :func:`error_entry` payloads so the
+    traceback captured is the worker-process one).  If the worker leaks
+    an exception anyway, or the future itself fails — broken pool,
+    unpicklable payload — the yielded payload is ``{"status": "error",
+    "error": error_entry(exc)}``.
+    """
+    task_list = list(tasks)
+    max_workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    if max_workers > 1 and len(task_list) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(max_workers, len(task_list))
+        ) as pool:
+            futures = {
+                pool.submit(worker, *args): key for key, args in task_list
+            }
+            for future in concurrent.futures.as_completed(futures):
+                key = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # e.g. BrokenProcessPool
+                    payload = {"status": "error", "error": error_entry(exc)}
+                yield key, payload
+    else:
+        for key, args in task_list:
+            try:
+                payload = worker(*args)
+            except Exception as exc:
+                payload = {"status": "error", "error": error_entry(exc)}
+            yield key, payload

@@ -10,10 +10,11 @@ reproduction results without re-running simulations.
 Execution model:
 
 * **Parallel** — registered experiments are independent simulations,
-  so they fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  (``jobs=N``, default ``os.cpu_count()``).  Custom in-process runners
-  (arbitrary callables) execute inline in the parent, since closures
-  do not survive pickling.
+  so they fan out over the shared pool executor
+  (:func:`repro.core.executor.map_tasks`; ``jobs=N``, default
+  ``os.cpu_count()``), the same machinery the scenario campaign engine
+  uses.  Custom in-process runners (arbitrary callables) execute inline
+  in the parent, since closures do not survive pickling.
 * **Fault-isolated** — a crashing harness records a structured error
   entry (type, message, traceback) in ``summary.json``; every other
   experiment still completes and the suite does not raise.
@@ -30,13 +31,9 @@ CLI front-end: ``python -m repro.cli suite --jobs 8 --only fig10 table2``.
 
 from __future__ import annotations
 
-import concurrent.futures
-import dataclasses
 import importlib
 import json
-import os
 import time
-import traceback
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -47,20 +44,12 @@ from repro.analysis.storage import (
     atomic_write_json,
     content_key,
 )
+from repro.core.executor import error_entry, map_tasks, to_jsonable
 from repro.experiments import registry
 
-
-def _to_jsonable(value: Any) -> Any:
-    """Recursively convert dataclasses/tuples/dict-keys to JSON types."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _to_jsonable(dataclasses.asdict(value))
-    if isinstance(value, dict):
-        return {str(key): _to_jsonable(val) for key, val in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(item) for item in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
+#: Backward-compatible alias; the implementation moved to
+#: :mod:`repro.core.executor` when the campaign engine began sharing it.
+_to_jsonable = to_jsonable
 
 
 def _cache_key(name: str, module: str, kwargs: Dict[str, Any]) -> str:
@@ -88,15 +77,7 @@ def _payload_from_result(name: str, result: Any, elapsed: float) -> Dict[str, An
 
 
 def _error_payload(name: str, exc: BaseException) -> Dict[str, Any]:
-    return {
-        "experiment": name,
-        "status": "error",
-        "error": {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "traceback": traceback.format_exc(),
-        },
-    }
+    return {"experiment": name, "status": "error", "error": error_entry(exc)}
 
 
 def _execute_spec(name: str, module: str, kwargs: Dict[str, Any]) -> Dict[str, Any]:
@@ -228,8 +209,8 @@ def run_suite(
     index.flush()
     written: Dict[str, Path] = {}
 
-    def finish(payload: Dict[str, Any], key: Optional[str]) -> None:
-        name = payload["experiment"]
+    def finish(name: str, payload: Dict[str, Any], key: Optional[str]) -> None:
+        payload.setdefault("experiment", name)
         path = out_root / f"{name}.json"
         if payload["status"] == "ok":
             if key is not None:
@@ -260,28 +241,15 @@ def run_suite(
             continue
         pooled.append((name, spec.module, kwargs, key if use_cache else None))
 
-    max_workers = jobs if jobs is not None else (os.cpu_count() or 1)
-    if max_workers > 1 and len(pooled) > 1:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(max_workers, len(pooled))
-        ) as pool:
-            futures = {
-                pool.submit(_execute_spec, name, module, kwargs): (name, key)
-                for name, module, kwargs, key in pooled
-            }
-            for future in concurrent.futures.as_completed(futures):
-                name, key = futures[future]
-                try:
-                    payload = future.result()
-                except Exception as exc:  # e.g. BrokenProcessPool
-                    payload = _error_payload(name, exc)
-                finish(payload, key)
-    else:
-        for name, module, kwargs, key in pooled:
-            finish(_execute_spec(name, module, kwargs), key)
+    tasks = [
+        ((name, key), (name, module, kwargs))
+        for name, module, kwargs, key in pooled
+    ]
+    for (name, key), payload in map_tasks(_execute_spec, tasks, jobs=jobs):
+        finish(name, payload, key)
 
     for name, runner in inline:
-        finish(_execute_callable(name, runner), None)
+        finish(name, _execute_callable(name, runner), None)
 
     return written
 

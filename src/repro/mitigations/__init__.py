@@ -33,26 +33,45 @@ __all__ = [
     "PerBankRfmPolicy",
     "QpracPolicy",
     "TpracPolicy",
+    "available",
+    "get",
+    "make_policy",
 ]
+
+#: The string -> factory registry.  Everything that addresses a
+#: mitigation by name — the CLI, campaign grids, experiment configs —
+#: goes through this one table, so a new policy registered here is
+#: immediately sweepable everywhere.
+_FACTORIES = {
+    "none": NoMitigationPolicy,
+    "abo_only": AboOnlyPolicy,
+    "abo_acb": AcbRfmPolicy,
+    "tprac": TpracPolicy,
+    "obfuscation": ObfuscationPolicy,
+    "rfmpb": PerBankRfmPolicy,
+    "qprac": QpracPolicy,
+}
+
+
+def available() -> list:
+    """Sorted names of every registered mitigation policy."""
+    return sorted(_FACTORIES)
+
+
+def get(name: str):
+    """The policy factory (class) registered under ``name``."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mitigation policy {name!r}; have {available()}"
+        ) from None
 
 
 def make_policy(name: str, **kwargs) -> MitigationPolicy:
-    """Factory used by experiment configs.
+    """Instantiate the policy registered under ``name``.
 
-    Names: ``none``, ``abo_only``, ``abo_acb``, ``tprac``,
-    ``obfuscation``, ``rfmpb``.
+    Names: see :func:`available` (``none``, ``abo_only``, ``abo_acb``,
+    ``tprac``, ``obfuscation``, ``rfmpb``, ``qprac``).
     """
-    factories = {
-        "none": NoMitigationPolicy,
-        "abo_only": AboOnlyPolicy,
-        "abo_acb": AcbRfmPolicy,
-        "tprac": TpracPolicy,
-        "obfuscation": ObfuscationPolicy,
-        "rfmpb": PerBankRfmPolicy,
-        "qprac": QpracPolicy,
-    }
-    try:
-        factory = factories[name]
-    except KeyError:
-        raise ValueError(f"unknown mitigation policy {name!r}") from None
-    return factory(**kwargs)
+    return get(name)(**kwargs)

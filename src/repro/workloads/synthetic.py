@@ -11,6 +11,7 @@ RBMPKI, the paper's categorization variable.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional
 
 from repro.cpu.trace import TraceRecord
@@ -33,7 +34,12 @@ class SyntheticWorkload:
     ) -> None:
         self.spec = spec
         self.config = config or ddr5_8000b()
-        self._rng = random.Random((hash(spec.name) & 0xFFFF) * 31 + seed)
+        # crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), and campaign trials must reproduce bit-for-bit
+        # across pool workers given the same seed.
+        self._rng = random.Random(
+            (zlib.crc32(spec.name.encode()) & 0xFFFF) * 31 + seed
+        )
         # Each core's footprint is disjoint so cores do not share rows.
         footprint_bytes = spec.footprint_rows * ROW_BYTES
         self.base = core_offset * footprint_bytes

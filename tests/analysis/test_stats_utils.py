@@ -76,3 +76,56 @@ def test_multiseed_perf_spread_is_tight():
     summary = across_seeds(normalized, [0, 1, 2])
     assert 0.8 < summary.mean < 1.0
     assert summary.stdev < 0.05
+
+
+# ----------------------------------------------------------------------
+# Streaming (Welford) accumulator and bootstrap CIs (campaign engine)
+# ----------------------------------------------------------------------
+def test_welford_matches_batch_summary():
+    from repro.analysis.stats_utils import Welford, summarize
+
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    acc = Welford()
+    for v in values:
+        acc.push(v)
+    batch = summarize(values)
+    streamed = acc.summary()
+    assert streamed.n == batch.n
+    assert streamed.mean == pytest.approx(batch.mean)
+    assert streamed.stdev == pytest.approx(batch.stdev)
+    assert streamed.ci95_half_width == pytest.approx(batch.ci95_half_width)
+
+
+def test_welford_edge_counts():
+    from repro.analysis.stats_utils import Welford
+
+    acc = Welford()
+    with pytest.raises(ValueError):
+        acc.summary()
+    acc.push(3.5)
+    assert acc.variance == 0.0
+    assert acc.summary().ci95_half_width == 0.0
+
+
+def test_bootstrap_ci_is_seeded_and_brackets_the_mean():
+    from repro.analysis.stats_utils import bootstrap_ci
+
+    values = [1.0, 2.0, 3.0, 4.0, 10.0]
+    first = bootstrap_ci(values, seed=7)
+    second = bootstrap_ci(values, seed=7)
+    assert first == second                       # deterministic given seed
+    assert first != bootstrap_ci(values, seed=8)
+    lo, hi = first
+    assert lo <= sum(values) / len(values) <= hi
+    assert min(values) <= lo <= hi <= max(values)
+
+
+def test_bootstrap_ci_degenerate_inputs():
+    from repro.analysis.stats_utils import bootstrap_ci
+
+    assert bootstrap_ci([5.0]) == (5.0, 5.0)
+    assert bootstrap_ci([2.0, 2.0, 2.0]) == (2.0, 2.0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.5)

@@ -121,3 +121,106 @@ def test_drain_discards_everything():
     engine.drain()
     engine.run()
     assert fired == []
+
+
+# ----------------------------------------------------------------------
+# Edge cases: cancellation, (priority, seq) tie-breaking, empty queues
+# ----------------------------------------------------------------------
+def test_cancel_from_inside_a_callback_suppresses_the_pending_event():
+    engine = Engine()
+    fired = []
+    victim = engine.schedule(20.0, lambda: fired.append("victim"))
+    engine.schedule(10.0, lambda: victim.cancel())
+    engine.run()
+    assert fired == []
+    assert engine.now == 10.0          # the cancelled event never advanced time
+
+
+def test_cancel_same_time_lower_priority_event_from_a_callback():
+    # Cancellation must win even when canceller and victim share a
+    # timestamp: the higher-priority event runs first and cancels.
+    engine = Engine()
+    fired = []
+    victim = engine.schedule(5.0, lambda: fired.append("victim"), priority=1)
+    engine.schedule(5.0, lambda: victim.cancel(), priority=0)
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent_and_counts_drop_once():
+    engine = Engine()
+    event = engine.schedule(5.0, lambda: None)
+    assert engine.pending == 1
+    event.cancel()
+    event.cancel()
+    assert engine.pending == 0
+    engine.run()
+    assert engine.events_fired == 0
+
+
+def test_cancelled_head_is_skipped_without_firing_during_run_until():
+    engine = Engine()
+    fired = []
+    head = engine.schedule(1.0, lambda: fired.append("head"))
+    engine.schedule(2.0, lambda: fired.append("tail"))
+    head.cancel()
+    engine.run(until=5.0)
+    assert fired == ["tail"]
+    assert engine.now == 5.0
+    assert engine.events_fired == 1
+
+
+def test_same_timestamp_orders_by_priority_then_sequence_interleaved():
+    # Interleave priorities at scheduling time; execution must sort by
+    # (priority, seq), i.e. seq only breaks ties *within* a priority.
+    engine = Engine()
+    fired = []
+    engine.schedule(7.0, lambda: fired.append("b0"), priority=1)
+    engine.schedule(7.0, lambda: fired.append("a0"), priority=0)
+    engine.schedule(7.0, lambda: fired.append("b1"), priority=1)
+    engine.schedule(7.0, lambda: fired.append("a1"), priority=0)
+    engine.run()
+    assert fired == ["a0", "a1", "b0", "b1"]
+
+
+def test_schedule_at_exactly_now_is_allowed_and_fires():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, lambda: engine.schedule(10.0, lambda: fired.append("x")))
+    engine.run()
+    assert fired == ["x"]
+    assert engine.now == 10.0
+
+
+def test_empty_queue_run_is_a_noop():
+    engine = Engine()
+    engine.run()
+    assert engine.now == 0.0
+    assert engine.events_fired == 0
+    assert engine.pending == 0
+
+
+def test_empty_queue_run_with_until_still_advances_the_clock():
+    engine = Engine()
+    engine.run(until=123.0)
+    assert engine.now == 123.0
+    assert engine.events_fired == 0
+
+
+def test_run_with_only_cancelled_events_drains_cleanly():
+    engine = Engine()
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda: None).cancel()
+    engine.run(until=10.0)
+    assert engine.events_fired == 0
+    assert engine.pending == 0
+    assert engine.now == 10.0
+
+
+def test_events_fired_counts_across_multiple_runs():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    assert engine.events_fired == 2

@@ -1,0 +1,31 @@
+"""The string -> factory mitigation registry."""
+
+import pytest
+
+from repro import mitigations
+
+pytestmark = pytest.mark.smoke
+
+
+def test_available_lists_every_policy():
+    assert mitigations.available() == sorted(
+        ["none", "abo_only", "abo_acb", "tprac", "obfuscation", "rfmpb", "qprac"]
+    )
+
+
+def test_get_returns_factories_matching_policy_names():
+    for name in mitigations.available():
+        assert mitigations.get(name).name == name
+
+
+def test_get_unknown_name_lists_alternatives():
+    with pytest.raises(ValueError, match="qprac"):
+        mitigations.get("prac_plus_plus")
+
+
+def test_make_policy_instantiates_with_kwargs():
+    policy = mitigations.make_policy("tprac", tb_window=5000.0)
+    assert policy.name == "tprac"
+    assert mitigations.make_policy("none").name == "none"
+    with pytest.raises(ValueError):
+        mitigations.make_policy("bogus")
