@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify smoke test suite bench
+.PHONY: verify smoke test suite bench bench-smoke bench-artifacts
 
 verify:            ## tier-1 tests + 2-artifact parallel suite run
 	./scripts/verify.sh
@@ -15,5 +15,11 @@ test:              ## full tier-1 test suite
 suite:             ## all registered artifacts, parallel + cached
 	$(PYTHON) -m repro.cli suite --out results
 
-bench:             ## per-artifact regeneration benchmarks
+bench:             ## kernel throughput on the pinned workloads -> trajectory
+	$(PYTHON) -m repro.cli bench
+
+bench-smoke:       ## single-rep bench run (CI-friendly, soft compare)
+	$(PYTHON) -m repro.cli bench --smoke --out "$${BENCH_OUT:-bench-results}"
+
+bench-artifacts:   ## per-artifact regeneration benchmarks (pytest-benchmark)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

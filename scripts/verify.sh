@@ -23,4 +23,17 @@ resume_out="$(python -m repro.cli campaign --campaign smoke --trials 3 --jobs 2 
     --out "$camp_dir" --resume)"
 grep -q cached <<<"$resume_out"
 
+echo "== bench: smoke run vs committed trajectory (soft) =="
+# Single repetition against the newest committed BENCH_<rev>.json; a
+# >20% events/sec drop prints a WARNING but never fails the build.
+# Set BENCH_OUT to keep the result (CI uploads it as an artifact).
+if [[ -n "${BENCH_OUT:-}" ]]; then
+    bench_out="$BENCH_OUT"
+else
+    bench_out="$(mktemp -d)"
+    trap 'rm -rf "$out_dir" "$camp_dir" "$bench_out"' EXIT
+fi
+python -m repro.cli bench --smoke --out "$bench_out" \
+    --baseline benchmarks/trajectory
+
 echo "verify: OK"

@@ -123,7 +123,7 @@ class EnergyModel:
         """Energy from a finished :class:`MemoryController` run."""
         stats = controller.stats
         activations = sum(b.stats.activations for b in controller.channel)
-        mitigations = sum(len(r.mitigated_rows) for r in stats.rfm_records)
+        mitigations = stats.mitigated_row_total  # running counter, no rescan
         policy = controller.policy
         if policy is not None and hasattr(policy, "mitigations_performed"):
             mitigations = max(mitigations, policy.mitigations_performed)

@@ -197,8 +197,8 @@ class AesSideChannelAttack:
                 phys_addr=bank_address(controller, layout.bank, row),
                 core_id=1,
                 on_complete=probe_issue,
+                meta={"probe_row": row},
             )
-            req.meta["probe_row"] = row
             controller.enqueue(req)
 
         victim_issue()

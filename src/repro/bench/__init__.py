@@ -1,0 +1,50 @@
+"""The ``repro bench`` performance harness.
+
+Measures the simulation kernel's throughput (events/sec, simulated
+ns/sec) on pinned workloads and persists ``BENCH_<rev>.json`` files
+forming a committed trajectory, so regressions are visible PR-to-PR.
+See :mod:`repro.bench.workloads` for the pinned workload inventory and
+``docs/performance.md`` for how to read the output.
+"""
+
+from repro.bench.harness import (
+    measure_workload,
+    run_bench,
+    detect_revision,
+)
+from repro.bench.report import (
+    REGRESSION_THRESHOLD,
+    bench_filename,
+    compare,
+    find_baseline,
+    format_report,
+    load_report,
+    write_report,
+)
+from repro.bench.workloads import (
+    DEFAULT_REPS,
+    DEFAULT_WARMUP,
+    BenchWorkload,
+    Measurement,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "BenchWorkload",
+    "DEFAULT_REPS",
+    "DEFAULT_WARMUP",
+    "Measurement",
+    "REGRESSION_THRESHOLD",
+    "bench_filename",
+    "compare",
+    "detect_revision",
+    "find_baseline",
+    "format_report",
+    "get_workload",
+    "load_report",
+    "measure_workload",
+    "run_bench",
+    "workload_names",
+    "write_report",
+]

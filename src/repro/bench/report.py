@@ -1,0 +1,144 @@
+"""BENCH_<rev>.json persistence, baseline lookup, regression checks.
+
+A bench *trajectory* is a directory of ``BENCH_<rev>.json`` files, one
+per measured revision, committed to the repository so every future PR
+can compare itself against the history.  The comparison is **soft**: a
+slower run prints warnings (and records them in its own file) but never
+fails the bench — wall-clock noise on shared CI runners must not break
+builds; humans read the warning and judge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.storage import atomic_write_json
+
+PathLike = Union[str, Path]
+
+#: events/sec drop beyond this fraction of baseline triggers a warning
+REGRESSION_THRESHOLD = 0.20
+
+
+def bench_filename(rev: str) -> str:
+    """``BENCH_<rev>.json`` with path-hostile characters mangled."""
+    safe = "".join(c if (c.isalnum() or c in "._+-") else "-" for c in rev)
+    return f"BENCH_{safe}.json"
+
+
+def write_report(report: Dict[str, Any], out_dir: PathLike) -> Path:
+    """Atomically persist a report under its revision name."""
+    out_root = Path(out_dir)
+    out_root.mkdir(parents=True, exist_ok=True)
+    path = out_root / bench_filename(report["rev"])
+    atomic_write_json(path, report)
+    return path
+
+
+def load_report(path: PathLike) -> Dict[str, Any]:
+    """Read one persisted BENCH document."""
+    return json.loads(Path(path).read_text())
+
+
+def find_baseline(
+    trajectory_dir: PathLike, exclude_rev: Optional[str] = None
+) -> Optional[Dict[str, Any]]:
+    """The most recent committed BENCH report (by embedded timestamp).
+
+    ``exclude_rev`` skips the current revision so a re-run compares
+    against history rather than itself.
+    """
+    root = Path(trajectory_dir)
+    if not root.is_dir():
+        return None
+    best: Optional[Dict[str, Any]] = None
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(doc, dict) or "workloads" not in doc:
+            continue
+        if exclude_rev is not None and doc.get("rev") == exclude_rev:
+            continue
+        if best is None or doc.get("timestamp", 0) > best.get("timestamp", 0):
+            best = doc
+    return best
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Per-workload throughput ratios vs a baseline report.
+
+    Returns ``{"baseline_rev", "ratios": {workload: ratio}, "warnings":
+    [...]}`` where ratio is current/baseline events-per-second (falling
+    back to the workload's units/sec when it reports no events, e.g.
+    the scheduler microbench).
+    """
+    ratios: Dict[str, float] = {}
+    warnings: List[str] = []
+    for name, block in current.get("workloads", {}).items():
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        key = "events_per_sec" if "events_per_sec" in block else "units_per_sec"
+        if key not in base or not base[key]:
+            continue
+        ratio = block[key] / base[key]
+        ratios[name] = ratio
+        if ratio < 1.0 - threshold:
+            warnings.append(
+                f"{name}: {key} {block[key]:,.0f} is {1 - ratio:.0%} below "
+                f"baseline {base[key]:,.0f} (rev {baseline.get('rev')})"
+            )
+    return {
+        "baseline_rev": baseline.get("rev"),
+        "baseline_timestamp": baseline.get("timestamp"),
+        "ratios": ratios,
+        "warnings": warnings,
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of one bench report (+ comparison)."""
+    lines = [
+        f"bench rev={report.get('rev')}  python={report.get('python')}  "
+        f"version={report.get('version')}"
+    ]
+    workloads = report.get("workloads", {})
+    width = max((len(n) for n in workloads), default=0)
+    for name, block in workloads.items():
+        rate = block.get("events_per_sec")
+        detail = (
+            f"{rate:>12,.0f} events/s"
+            if rate
+            else f"{block['units_per_sec']:>12,.0f} {block['unit']}/s"
+        )
+        sim = block.get("sim_ns_per_sec")
+        sim_part = f"  {sim:>12,.0f} sim-ns/s" if sim else ""
+        mark = " *" if block.get("acceptance") else "  "
+        lines.append(
+            f"{mark}{name:<{width}}  {detail}{sim_part}  "
+            f"(best of {block['reps']}, {block['wall_seconds_best'] * 1e3:.1f} ms)"
+        )
+    comparison = report.get("comparison")
+    if comparison:
+        for name, ratio in comparison.get("ratios", {}).items():
+            lines.append(
+                f"  {name:<{width}}  {ratio:.2f}x vs baseline "
+                f"rev {comparison.get('baseline_rev')}"
+            )
+        for warning in comparison.get("warnings", []):
+            lines.append(f"  WARNING: {warning}")
+        if not comparison.get("warnings"):
+            lines.append(
+                f"  no regression vs rev {comparison.get('baseline_rev')} "
+                f"(threshold {REGRESSION_THRESHOLD:.0%})"
+            )
+    lines.append("  (* = acceptance workload)")
+    return "\n".join(lines)

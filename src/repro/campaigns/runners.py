@@ -35,6 +35,12 @@ from repro.mitigations.base import MitigationPolicy
 
 _TRIAL_KINDS: Dict[str, Callable[[Scenario, int], Dict[str, float]]] = {}
 
+#: Optional observer called with every :class:`~repro.cpu.system.System`
+#: a ``perf`` trial runs (baseline and mitigated, in that order).  The
+#: bench harness (:mod:`repro.bench`) uses it to read engine telemetry
+#: (events fired, simulated ns) without altering trial metric payloads.
+system_probe: Optional[Callable[[Any], None]] = None
+
 
 def _kind(name: str):
     def register(fn):
@@ -85,15 +91,20 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
         scenario.workload, cores=cores, num_accesses=requests, seed=seed
     )
     config = scenario.dram_config()
-    baseline = System(
+    baseline_system = System(
         traces, config=config, policy=make_policy("none"), enable_abo=False
-    ).run()
-    mitigated = System(
+    )
+    baseline = baseline_system.run()
+    mitigated_system = System(
         traces,
         config=config,
         policy=build_policy(scenario, seed=seed),
         enable_abo=scenario.mitigation != "none",
-    ).run()
+    )
+    mitigated = mitigated_system.run()
+    if system_probe is not None:
+        system_probe(baseline_system)
+        system_probe(mitigated_system)
     return {
         "normalized_perf": mitigated.total_ipc / baseline.total_ipc,
         "ipc": mitigated.total_ipc,

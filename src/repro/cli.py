@@ -30,6 +30,16 @@ prints the registry without running anything.
 per scenario on a process pool; ``--resume`` skips scenarios already
 persisted under their content-hash IDs, ``--list`` prints the expanded
 grid without running it.
+
+``bench`` measures kernel throughput (events/sec, simulated-ns/sec) on
+the pinned workloads of :mod:`repro.bench` and writes a
+``BENCH_<rev>.json`` into the committed trajectory directory
+(``benchmarks/trajectory`` by default), with a soft regression warning
+against the most recent baseline::
+
+    python -m repro.cli bench                 # full: 5 reps + warmup
+    python -m repro.cli bench --smoke         # 1 rep, CI-friendly
+    python -m repro.cli bench --only perf_multi_core --reps 9
 """
 
 from __future__ import annotations
@@ -242,6 +252,8 @@ def _run_suite(args) -> int:
     """``suite`` subcommand: parallel cached run over registered artifacts."""
     from repro.experiments import registry, runner
 
+    if args.out is None:
+        args.out = "results"
     if args.list:
         return _list_artifacts()
     if args.only is not None and not args.only:
@@ -300,10 +312,81 @@ def _run_suite(args) -> int:
     return 1 if errors else 0
 
 
+#: default committed trajectory directory for ``bench`` results
+BENCH_TRAJECTORY_DIR = "benchmarks/trajectory"
+
+
+def _run_bench(args) -> int:
+    """``bench`` subcommand: pinned-workload kernel throughput."""
+    from repro import bench
+
+    if args.list:
+        width = max(len(n) for n in bench.workload_names())
+        for name in bench.workload_names():
+            workload = bench.get_workload(name)
+            mark = "*" if workload.acceptance else " "
+            print(f"{mark} {name:<{width}}  {workload.title}")
+        print("(* = acceptance workload)")
+        return 0
+    if args.only is not None and not args.only:
+        print("error: --only given but no workload names followed",
+              file=sys.stderr)
+        return 2
+    names = None
+    if args.only:
+        try:
+            for name in args.only:
+                bench.get_workload(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        names = args.only
+    reps = args.reps if args.reps is not None else (1 if args.smoke else bench.DEFAULT_REPS)
+    warmup = (
+        args.warmup
+        if args.warmup is not None
+        else (0 if args.smoke else bench.DEFAULT_WARMUP)
+    )
+    if reps <= 0 or warmup < 0:
+        print("error: --reps must be positive and --warmup non-negative",
+              file=sys.stderr)
+        return 2
+    rev = args.rev or bench.detect_revision()
+    out_dir = args.out if args.out is not None else BENCH_TRAJECTORY_DIR
+    report = bench.run_bench(names, reps=reps, warmup=warmup, rev=rev)
+    # Baseline: explicit file/dir beats the output dir beats the
+    # committed trajectory.  Comparison is soft — warnings, exit 0.
+    baseline = None
+    if args.baseline:
+        baseline_path = args.baseline
+        import os
+
+        if os.path.isdir(baseline_path):
+            baseline = bench.find_baseline(baseline_path, exclude_rev=rev)
+        else:
+            try:
+                baseline = bench.load_report(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+                return 2
+    else:
+        baseline = bench.find_baseline(out_dir, exclude_rev=rev) or bench.find_baseline(
+            BENCH_TRAJECTORY_DIR, exclude_rev=rev
+        )
+    if baseline is not None:
+        report["comparison"] = bench.compare(report, baseline)
+    path = bench.write_report(report, out_dir)
+    print(bench.format_report(report))
+    print(f"-> {path}")
+    return 0
+
+
 def _run_campaign(args) -> int:
     """``campaign`` subcommand: declarative grid + Monte Carlo trials."""
     from repro import campaigns
 
+    if args.out is None:
+        args.out = "results"
     if args.grid is not None and not args.grid:
         print("error: --grid given but no axis=values tokens followed",
               file=sys.stderr)
@@ -380,10 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "campaign", "list", "suite"],
+        choices=sorted(COMMANDS) + ["all", "bench", "campaign", "list", "suite"],
         help=(
             "which artifact to regenerate ('suite' for the parallel runner, "
-            "'campaign' for declarative scenario sweeps)"
+            "'campaign' for declarative scenario sweeps, 'bench' for the "
+            "kernel performance harness)"
         ),
     )
     parser.add_argument(
@@ -408,7 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     shared.add_argument(
-        "--out", default="results", help="results directory"
+        "--out", default=None,
+        help="results directory (default: 'results'; for 'bench' the "
+             "committed trajectory, benchmarks/trajectory)",
     )
     shared.add_argument(
         "--list", action="store_true",
@@ -456,6 +542,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip scenarios whose persisted results match their "
              "content-hash cache key and trial count",
     )
+    bench_group = parser.add_argument_group("bench options")
+    bench_group.add_argument(
+        "--smoke", action="store_true",
+        help="single repetition, no warmup (CI-friendly; soft compare only)",
+    )
+    bench_group.add_argument(
+        "--reps", type=int, default=None,
+        help="timed repetitions per workload (default 5; best rep reported)",
+    )
+    bench_group.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup repetitions per workload (default 2)",
+    )
+    bench_group.add_argument(
+        "--rev", default=None, metavar="LABEL",
+        help="revision label for BENCH_<rev>.json (default: git short rev)",
+    )
+    bench_group.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="BENCH json file or trajectory directory to compare against "
+             "(default: newest report in the output/trajectory directory)",
+    )
     return parser
 
 
@@ -465,7 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     flags_used = {
         "--jobs": args.jobs is not None,
         "--only": bool(args.only),
-        "--out": args.out != "results",
+        "--out": args.out is not None,
         "--list": args.list,
         "--no-cache": args.no_cache,
         "--force": args.force,
@@ -475,24 +583,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trials": args.trials is not None,
         "--seed": args.seed is not None,
         "--resume": args.resume,
+        "--smoke": args.smoke,
+        "--reps": args.reps is not None,
+        "--warmup": args.warmup is not None,
+        "--rev": args.rev is not None,
+        "--baseline": args.baseline is not None,
     }
     allowed = {
         "suite": {"--jobs", "--only", "--out", "--list", "--no-cache",
                   "--force", "--full"},
         "campaign": {"--jobs", "--only", "--out", "--list", "--grid",
                      "--campaign", "--trials", "--seed", "--resume"},
+        "bench": {"--only", "--out", "--list", "--smoke", "--reps",
+                  "--warmup", "--rev", "--baseline"},
     }.get(args.experiment, set())
     rejected = [
         flag for flag, on in flags_used.items() if on and flag not in allowed
     ]
     if rejected:
-        applies = "'suite'/'campaign'" if not allowed else (
+        applies = "'suite'/'campaign'/'bench'" if not allowed else (
             f"'{args.experiment}'"
         )
         scope = (
             f"not applicable to {applies}"
             if allowed
-            else "only applies to the 'suite' and 'campaign' commands"
+            else "only applies to the 'suite', 'campaign' and 'bench' commands"
         )
         print(f"error: {', '.join(rejected)} {scope}", file=sys.stderr)
         return 2
@@ -504,6 +619,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_suite(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()

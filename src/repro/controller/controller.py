@@ -18,15 +18,28 @@ Fidelity notes
 * An RFM does not abort requests already in flight; it delays requests
   scheduled after it, which is exactly the latency spike an attacker
   observes on its own accesses.
+
+Hot-path notes
+--------------
+The wake loop below is, with the event kernel, where every perf sweep
+spends its time, so it avoids per-wake allocations and repeated
+attribute chains: timing parameters are cached as plain floats at
+construction, the busy-bank scan reads the scheduler's maintained
+sorted list, the device-side "must mitigate" flag is only re-read after
+a serve (the only action that can change it), and per-request latency
+samples are built lazily — :class:`~repro.controller.stats.LatencySample`
+objects exist only when ``record_samples=True``.  All fast paths are
+bit-for-bit equivalent to the straightforward formulation.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.controller.request import MemRequest
 from repro.controller.scheduler import FrFcfsScheduler
-from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
+from repro.controller.stats import ControllerStats, RfmRecord
 from repro.core.engine import Engine
 from repro.dram.address import AddressMapping, MopMapping
 from repro.dram.commands import Command, CommandKind, RfmProvenance
@@ -60,6 +73,11 @@ class MemoryController:
         Whether periodic REFab is simulated (tests may disable it).
     tref_per_trefi:
         Targeted-Refresh rate for the TPRAC co-design (Section 4.3).
+    record_samples:
+        Keep per-request :class:`LatencySample` records.  Off by
+        default: the aggregate counters in :class:`ControllerStats`
+        cover the performance experiments, and attacker-observation
+        harnesses opt in explicitly.
     """
 
     def __init__(
@@ -73,7 +91,7 @@ class MemoryController:
         enable_refresh: bool = True,
         tref_per_trefi: float = 0.0,
         scheduler_cap: int = 4,
-        record_samples: bool = True,
+        record_samples: bool = False,
         log_commands: bool = False,
     ) -> None:
         if page_policy not in ("open", "closed"):
@@ -95,6 +113,35 @@ class MemoryController:
         self._last_cas_time: List[float] = [-1e18] * n  # for tRTP (RD->PRE)
         self._wr_recovery_until: List[float] = [0.0] * n
 
+        # Hot-path caches: timing parameters as plain floats, and direct
+        # references past the Channel/Scheduler accessors.  Values are
+        # identical to the config attributes — results do not change.
+        timing = config.timing
+        self._tRP = timing.tRP
+        self._tRAS = timing.tRAS
+        self._tRTP = timing.tRTP
+        self._tRCD = timing.tRCD
+        self._tCL = timing.tCL
+        self._tBL = timing.tBL
+        self._tCCD = timing.tCCD
+        self._tWR = timing.tWR
+        self._banks = self.channel.banks
+        self._queues = self.scheduler.queues
+        # Per-bank ready-time cache.  A bank's earliest-start time is a
+        # pure function of (its pipeline state, its queue head, the
+        # channel blocking window); the wake loop recomputes it only
+        # after one of those inputs changed.  Invalidation:
+        # * bank-local (enqueue / pick+serve)  -> _ready_gen[bank] = -1
+        # * channel-wide (RFMab burst, REFab)  -> _gen += 1
+        # Every write point is in this module or hooked below; see
+        # docs/performance.md for the inventory.
+        self._ready_cache: List[float] = [0.0] * n
+        self._ready_gen: List[int] = [-1] * n
+        self._gen = 0
+        #: phys_addr -> (DramAddress, flat bank id); decode is pure and
+        #: workload footprints are bounded, so a plain dict suffices.
+        self._decode_cache: Dict[int, Tuple[object, int]] = {}
+
         # ABO protocol --------------------------------------------------
         self.abo = AboProtocol(config, self.channel, clock=lambda: engine.now)
         self.abo.on_alert.append(self._on_alert)
@@ -106,6 +153,8 @@ class MemoryController:
         )
         self.refresh.on_refw.append(self._on_refw)
         self.refresh.on_tref.append(self._on_tref)
+        # REFab blocks the whole channel: drop every cached ready time.
+        self.refresh.on_refresh.append(self._invalidate_ready_cache)
         if enable_refresh:
             self.refresh.start()
 
@@ -135,12 +184,21 @@ class MemoryController:
     # ==================================================================
     def enqueue(self, request: MemRequest) -> None:
         """Accept a request; it will complete via ``request.complete``."""
-        request.addr = self.mapping.decode(request.phys_addr)
-        request.arrive_time = self.engine.now
-        bank_id = request.addr.flat_bank(self.config.organization)
-        request.meta["bank"] = bank_id
+        phys = request.phys_addr
+        entry = self._decode_cache.get(phys)
+        if entry is None:
+            addr = self.mapping.decode(phys)
+            entry = (addr, addr.flat_bank(self.config.organization))
+            self._decode_cache[phys] = entry
+        addr, bank_id = entry
+        request.addr = addr
+        now = self.engine.now
+        request.arrive_time = now
         self.scheduler.enqueue(request, bank_id)
-        self._schedule_wake(self.engine.now)
+        self._ready_gen[bank_id] = -1  # queue head may have changed
+        wake = self._wake_event
+        if wake is None or wake.cancelled or wake.time > now:
+            self._schedule_wake(now)
 
     def request_rfm(self, provenance: RfmProvenance, count: int = 1) -> None:
         """Ask the controller to issue ``count`` RFMab commands ASAP.
@@ -186,70 +244,171 @@ class MemoryController:
     # Scheduling loop
     # ==================================================================
     def _schedule_wake(self, time: float) -> None:
-        time = max(time, self.engine.now)
-        if self._wake_event is not None and not self._wake_event.cancelled:
-            if self._wake_event.time <= time:
+        now = self.engine.now
+        if time < now:
+            time = now
+        wake = self._wake_event
+        if wake is not None and not wake.cancelled:
+            if wake.time <= time:
                 return
-            self._wake_event.cancel()
-        self._wake_event = self.engine.schedule(time, self._wake, priority=1, label="mc-wake")
+            wake.cancel()
+        self._wake_event = self.engine.schedule(time, self._wake, 1, "mc-wake")
 
     def _wake(self) -> None:
         self._wake_event = None
-        now = self.engine.now
-        if now < self.channel.blocked_until:
-            self._schedule_wake(self.channel.blocked_until)
+        engine = self.engine
+        now = engine.now
+        channel = self.channel
+        abo = self.abo
+        enable_abo = self.enable_abo
+        scheduler = self.scheduler
+
+        if now < channel.blocked_until:
+            self._schedule_wake(channel.blocked_until)
             return
 
         # 1. Mandatory ABO mitigation --------------------------------
-        if self.enable_abo and self.abo.alert_pending:
+        if enable_abo and abo.alert_pending:
+            deadline = self._abo_deadline
             due = (
-                self.abo.must_mitigate_now
-                or (self._abo_deadline is not None and now >= self._abo_deadline)
-                or self.scheduler.pending() == 0
+                abo.must_mitigate_now
+                or (deadline is not None and now >= deadline)
+                or scheduler.pending() == 0
             )
             if due:
-                self._issue_rfm_burst(self.abo.rfm_burst_size(), RfmProvenance.ABO)
-                self.abo.mitigation_done()
+                self._issue_rfm_burst(abo.rfm_burst_size(), RfmProvenance.ABO)
+                abo.mitigation_done()
                 self._abo_deadline = None
-                self._schedule_wake(self.channel.blocked_until)
+                self._schedule_wake(channel.blocked_until)
                 return
 
         # 2. Proactive RFMs requested by the policy -------------------
         if self._pending_rfms:
             provenance, count = self._pending_rfms.pop(0)
             self._issue_rfm_burst(count, provenance)
-            self._schedule_wake(self.channel.blocked_until)
+            self._schedule_wake(channel.blocked_until)
             return
 
         # 3. Serve requests ------------------------------------------
-        next_wake: Optional[float] = None
-        if self._abo_deadline is not None:
-            next_wake = self._abo_deadline
+        next_wake: Optional[float] = self._abo_deadline
         served_any = False
-        for bank_id in list(self.scheduler.banks_with_work()):
+        banks = self._banks
+        queues = self._queues
+        cmd_ready = self._bank_cmd_ready
+        last_act = self._last_act_time
+        last_cas = self._last_cas_time
+        wr_recovery = self._wr_recovery_until
+        ready_cache = self._ready_cache
+        ready_gen = self._ready_gen
+        gen = self._gen
+        tRP = self._tRP
+        tRAS = self._tRAS
+        tRTP = self._tRTP
+        blocked_until = channel.blocked_until
+        # The ABO grace countdown only moves when this loop issues an
+        # ACT (via _serve), so the flag is re-read after serves rather
+        # than on every bank iteration.
+        must_mitigate = enable_abo and abo.must_mitigate_now
+        # Iterate the scheduler's live sorted list: pick() may remove
+        # the *current* bank (position i), never a later one, so the
+        # post-serve identity check keeps the scan exact with no
+        # per-wake snapshot allocation.
+        busy = scheduler.banks_with_work()
+        i = 0
+        n = len(busy)
+        while i < n:
+            bank_id = busy[i]
             # ABO grace exhausted mid-loop: stop ACTs, mitigate first.
-            if self.enable_abo and self.abo.must_mitigate_now:
+            if must_mitigate:
                 self._schedule_wake(now)
                 break
-            bank = self.channel.bank(bank_id)
-            ready = self._bank_ready_time(bank_id)
+            if ready_gen[bank_id] == gen:
+                ready = ready_cache[bank_id]
+            else:
+                bank = banks[bank_id]
+                # --- inline _bank_ready_time (kept in sync with the
+                # method, which remains the readable reference).
+                ready = cmd_ready[bank_id]
+                if blocked_until > ready:
+                    ready = blocked_until
+                head = queues[bank_id][0]
+                open_row = bank.open_row
+                if open_row is None:
+                    act_at = bank.ready_at
+                    pd = bank.precharge_done_at
+                    if pd > act_at:
+                        act_at = pd
+                    if act_at > ready:
+                        ready = act_at
+                elif head.addr.row != open_row:
+                    pre_at = head.arrive_time
+                    t = last_act[bank_id] + tRAS
+                    if t > pre_at:
+                        pre_at = t
+                    t = last_cas[bank_id] + tRTP
+                    if t > pre_at:
+                        pre_at = t
+                    t = wr_recovery[bank_id]
+                    if t > pre_at:
+                        pre_at = t
+                    act_at = pre_at + tRP
+                    t = bank.ready_at
+                    if t > act_at:
+                        act_at = t
+                    if act_at > ready:
+                        ready = act_at
+                # --- end inline
+                ready_cache[bank_id] = ready
+                ready_gen[bank_id] = gen
             if ready > now:
-                next_wake = ready if next_wake is None else min(next_wake, ready)
+                if next_wake is None or ready < next_wake:
+                    next_wake = ready
+                i += 1
                 continue
-            request = self.scheduler.pick(bank_id, bank)
+            request = scheduler.pick(bank_id, banks[bank_id])
             if request is None:
+                i += 1
                 continue
             self._serve(request, bank_id)
+            ready_gen[bank_id] = -1  # pipeline state + queue head changed
             served_any = True
-            if self.scheduler.pending(bank_id):
+            if enable_abo:
+                must_mitigate = abo.must_mitigate_now
+            n = len(busy)
+            if i < n and busy[i] == bank_id:
+                # Bank still busy: refresh its cached ready time for the
+                # re-examination pass this serve will schedule.
                 ready = self._bank_ready_time(bank_id)
-                next_wake = ready if next_wake is None else min(next_wake, ready)
+                ready_cache[bank_id] = ready
+                ready_gen[bank_id] = gen
+                if next_wake is None or ready < next_wake:
+                    next_wake = ready
+                i += 1
 
-        if served_any and self.scheduler.pending():
+        if served_any and scheduler._total_pending:
             # Re-examine immediately: serving may have changed state.
-            self._schedule_wake(now)
+            target = now
         elif next_wake is not None:
-            self._schedule_wake(max(next_wake, now))
+            target = next_wake if next_wake > now else now
+        else:
+            return
+        # Inline _schedule_wake (the wake handle is usually None here:
+        # it was cleared on entry and only hooks re-arm it mid-wake).
+        wake = self._wake_event
+        if wake is not None and not wake.cancelled:
+            if wake.time <= target:
+                return
+            wake.cancel()
+        self._wake_event = engine.schedule(target, self._wake, 1, "mc-wake")
+
+    # ------------------------------------------------------------------
+    def _invalidate_ready_cache(self, _time: float = 0.0) -> None:
+        """Drop every cached bank ready time (channel-wide state moved).
+
+        Registered on the refresh hook and called after RFM bursts; any
+        out-of-band mutation of bank timing state must call it too.
+        """
+        self._gen += 1
 
     # ------------------------------------------------------------------
     def _earliest_precharge(self, bank_id: int, arrival: float) -> float:
@@ -260,104 +419,136 @@ class MemoryController:
         tRTP (RD->PRE) and write recovery allow — not when the request
         is finally picked.
         """
-        timing = self.config.timing
-        return max(
-            arrival,
-            self._last_act_time[bank_id] + timing.tRAS,
-            self._last_cas_time[bank_id] + timing.tRTP,
-            self._wr_recovery_until[bank_id],
-        )
+        pre_at = arrival
+        t = self._last_act_time[bank_id] + self._tRAS
+        if t > pre_at:
+            pre_at = t
+        t = self._last_cas_time[bank_id] + self._tRTP
+        if t > pre_at:
+            pre_at = t
+        t = self._wr_recovery_until[bank_id]
+        if t > pre_at:
+            pre_at = t
+        return pre_at
 
     def _bank_ready_time(self, bank_id: int) -> float:
-        """Earliest time the head request of this bank could start."""
-        timing = self.config.timing
-        bank = self.channel.bank(bank_id)
-        t = max(self._bank_cmd_ready[bank_id], self.channel.blocked_until)
-        queue = self.scheduler.queues[bank_id]
+        """Earliest time the head request of this bank could start.
+
+        Readable reference for the inlined fast path in :meth:`_wake`;
+        keep the two in sync.
+        """
+        bank = self._banks[bank_id]
+        t = self._bank_cmd_ready[bank_id]
+        blocked = self.channel.blocked_until
+        if blocked > t:
+            t = blocked
+        queue = self._queues[bank_id]
         if not queue:
             return t
         head = queue[0]
-        if bank.open_row is not None and head.addr.row == bank.open_row:
+        open_row = bank.open_row
+        if open_row is not None and head.addr.row == open_row:
             return t
-        if bank.open_row is None:
-            act_at = max(bank.ready_at, bank.precharge_done_at)
+        if open_row is None:
+            act_at = bank.ready_at
+            if bank.precharge_done_at > act_at:
+                act_at = bank.precharge_done_at
         else:
-            pre_at = self._earliest_precharge(bank_id, head.arrive_time)
-            act_at = max(pre_at + timing.tRP, bank.ready_at)
-        return max(t, act_at)
+            act_at = self._earliest_precharge(bank_id, head.arrive_time) + self._tRP
+            if bank.ready_at > act_at:
+                act_at = bank.ready_at
+        return act_at if act_at > t else t
 
     def _serve(self, request: MemRequest, bank_id: int) -> None:
         """Walk the command sequence for one request; schedule completion."""
-        timing = self.config.timing
-        bank = self.channel.bank(bank_id)
-        now = self.engine.now
+        bank = self._banks[bank_id]
+        engine = self.engine
+        channel = self.channel
+        now = engine.now
         row = request.addr.row
-        t = max(now, self._bank_cmd_ready[bank_id], self.channel.blocked_until)
+        t = now
+        v = self._bank_cmd_ready[bank_id]
+        if v > t:
+            t = v
+        v = channel.blocked_until
+        if v > t:
+            t = v
 
-        if bank.open_row == row:
+        log = self.command_log
+        open_row = bank.open_row
+        if open_row == row:
             was_hit = True
             cas_time = t
         else:
             was_hit = False
-            if bank.open_row is not None:
+            if open_row is not None:
                 # Row conflict: eager precharge (see _earliest_precharge).
                 pre_time = self._earliest_precharge(bank_id, request.arrive_time)
                 bank.precharge(pre_time)
-                self._log(CommandKind.PRE, bank_id, -1, pre_time)
+                if log is not None:
+                    self._log(CommandKind.PRE, bank_id, -1, pre_time)
                 self.stats.row_conflicts += 1
             else:
                 self.stats.row_misses += 1
-            act_time = max(t, bank.ready_at, bank.precharge_done_at)
+            act_time = t
+            if bank.ready_at > act_time:
+                act_time = bank.ready_at
+            if bank.precharge_done_at > act_time:
+                act_time = bank.precharge_done_at
             bank.activate(row, act_time)
-            self._log(CommandKind.ACT, bank_id, row, act_time)
+            if log is not None:
+                self._log(CommandKind.ACT, bank_id, row, act_time)
             self._last_act_time[bank_id] = act_time
-            cas_time = act_time + timing.tRCD
+            cas_time = act_time + self._tRCD
         self._last_cas_time[bank_id] = cas_time
-        self._log(
-            CommandKind.WR if request.is_write else CommandKind.RD,
-            bank_id,
-            row,
-            cas_time,
-        )
-
-        data_latency = timing.tCL  # same CAS latency for RD/WR in model
-        data_start = max(cas_time + data_latency, self.channel.bus_free_at)
-        data_end = data_start + timing.tBL
-        self.channel.bus_free_at = data_end
-        bank.record_column(request.is_write)
-        if request.is_write:
-            self._wr_recovery_until[bank_id] = data_end + timing.tWR
-        self._bank_cmd_ready[bank_id] = cas_time + timing.tCCD
-        if self.page_policy == "closed":
-            pre_time = max(
-                data_end + timing.tRTP,
-                self._last_act_time[bank_id] + timing.tRAS,
-                self._wr_recovery_until[bank_id],
+        if log is not None:
+            self._log(
+                CommandKind.WR if request.is_write else CommandKind.RD,
+                bank_id,
+                row,
+                cas_time,
             )
+
+        data_start = cas_time + self._tCL  # same CAS latency for RD/WR in model
+        if channel.bus_free_at > data_start:
+            data_start = channel.bus_free_at
+        data_end = data_start + self._tBL
+        channel.bus_free_at = data_end
+        bank_stats = bank.stats  # inline Bank.record_column
+        if request.is_write:
+            bank_stats.writes += 1
+            self._wr_recovery_until[bank_id] = data_end + self._tWR
+        else:
+            bank_stats.reads += 1
+        self._bank_cmd_ready[bank_id] = cas_time + self._tCCD
+        if self.page_policy == "closed":
+            pre_time = data_end + self._tRTP
+            v = self._last_act_time[bank_id] + self._tRAS
+            if v > pre_time:
+                pre_time = v
+            v = self._wr_recovery_until[bank_id]
+            if v > pre_time:
+                pre_time = v
             bank.precharge(pre_time)
 
-        sample = LatencySample(
-            time=data_end,
-            latency=data_end - request.arrive_time,
-            core_id=request.core_id,
-            bank_id=bank_id,
-            row=row,
-            was_hit=was_hit,
-        )
-        self.engine.schedule(
+        engine.schedule(
             data_end,
-            lambda req=request, s=sample: self._finish(req, s),
-            priority=2,
-            label="mc-done",
+            partial(self._finish, request, bank_id, row, was_hit),
+            2,
+            "mc-done",
         )
 
-    def _finish(self, request: MemRequest, sample: LatencySample) -> None:
-        self.stats.record_request(sample)
+    def _finish(self, request: MemRequest, bank_id: int, row: int, was_hit: bool) -> None:
+        now = self.engine.now
+        stats = self.stats
+        stats.record_completion(
+            now, now - request.arrive_time, request.core_id, bank_id, row, was_hit
+        )
         if request.is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        request.complete(self.engine.now)
+            stats.reads += 1
+        request.complete(now)
 
     # ------------------------------------------------------------------
     def _issue_rfm_burst(self, count: int, provenance: RfmProvenance) -> None:
@@ -385,3 +576,5 @@ class MemoryController:
             t = end
         for bank in self.channel:
             bank.activations_since_rfm = 0
+        # The burst moved blocked_until and closed rows on every bank.
+        self._invalidate_ready_cache()

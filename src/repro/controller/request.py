@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.dram.address import DramAddress
@@ -11,24 +10,52 @@ from repro.dram.address import DramAddress
 _request_ids = itertools.count()
 
 
-@dataclass
 class MemRequest:
     """A single cache-line request to DRAM.
 
     ``arrive_time`` is when the request reached the controller;
     ``done_time`` is filled in when data is returned.  ``on_complete``
     lets the issuing core (or attack harness) react to completion.
+
+    A plain ``__slots__`` class rather than a dataclass: one of these is
+    allocated per DRAM request on the simulator's hot path.
     """
 
-    phys_addr: int
-    is_write: bool = False
-    core_id: int = 0
-    arrive_time: float = 0.0
-    req_id: int = field(default_factory=lambda: next(_request_ids))
-    addr: Optional[DramAddress] = None       # filled by the controller
-    done_time: Optional[float] = None
-    on_complete: Optional[Callable[["MemRequest"], None]] = None
-    meta: dict = field(default_factory=dict)
+    __slots__ = (
+        "phys_addr",
+        "is_write",
+        "core_id",
+        "arrive_time",
+        "req_id",
+        "addr",
+        "done_time",
+        "on_complete",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        phys_addr: int,
+        is_write: bool = False,
+        core_id: int = 0,
+        arrive_time: float = 0.0,
+        req_id: Optional[int] = None,
+        addr: Optional[DramAddress] = None,
+        done_time: Optional[float] = None,
+        on_complete: Optional[Callable[["MemRequest"], None]] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.phys_addr = phys_addr
+        self.is_write = is_write
+        self.core_id = core_id
+        self.arrive_time = arrive_time
+        self.req_id = next(_request_ids) if req_id is None else req_id
+        self.addr = addr                 # filled by the controller
+        self.done_time = done_time
+        self.on_complete = on_complete
+        #: optional caller annotations; None (not an empty dict) by
+        #: default so the hot path never allocates one per request
+        self.meta = meta
 
     @property
     def latency(self) -> float:

@@ -9,8 +9,9 @@ Mutlu & Moscibroda); after the cap the oldest request wins regardless.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, List, Optional, Sequence
 
 from repro.controller.request import MemRequest
 from repro.dram.bank import Bank
@@ -27,10 +28,12 @@ class FrFcfsScheduler:
         self.cap = cap
         self.queue_depth = queue_depth
         self.queues: List[Deque[MemRequest]] = [deque() for _ in range(num_banks)]
-        self._consecutive_hits: Dict[int, int] = {b: 0 for b in range(num_banks)}
-        # Busy-bank tracking keeps the controller's wake loop O(busy)
-        # instead of O(total banks); total_pending avoids re-summing.
-        self._busy: set = set()
+        self._consecutive_hits: List[int] = [0] * num_banks
+        # Busy-bank tracking: a sorted list maintained at the (rare)
+        # empty<->busy transitions, so the controller's per-wake scan
+        # needs no per-call sort or set copy.  total_pending avoids
+        # re-summing queue lengths.
+        self._busy: List[int] = []
         self._total_pending = 0
 
     # ------------------------------------------------------------------
@@ -38,8 +41,10 @@ class FrFcfsScheduler:
         """Append a decoded request to its bank queue."""
         if request.addr is None:
             raise ValueError("request must be decoded before enqueueing")
-        self.queues[bank_id].append(request)
-        self._busy.add(bank_id)
+        queue = self.queues[bank_id]
+        if not queue:
+            insort(self._busy, bank_id)
+        queue.append(request)
         self._total_pending += 1
 
     def pending(self, bank_id: Optional[int] = None) -> int:
@@ -52,9 +57,13 @@ class FrFcfsScheduler:
         """Whether a bank queue reached its depth limit."""
         return len(self.queues[bank_id]) >= self.queue_depth
 
-    def banks_with_work(self) -> Iterable[int]:
-        """Bank ids with at least one queued request, ascending."""
-        return sorted(self._busy)
+    def banks_with_work(self) -> Sequence[int]:
+        """Bank ids with at least one queued request, ascending.
+
+        Returns the live internal list (no copy): callers that serve
+        requests while iterating must snapshot it first.
+        """
+        return self._busy
 
     # ------------------------------------------------------------------
     def pick(self, bank_id: int, bank: Bank) -> Optional[MemRequest]:
@@ -62,33 +71,33 @@ class FrFcfsScheduler:
 
         Row hits win until ``cap`` consecutive hits have been served
         while an older non-hit waits; then the oldest request is served
-        to guarantee forward progress.
+        to guarantee forward progress.  Requests are decoded at enqueue
+        time, so the scan compares rows directly — no per-request
+        revalidation, no temporary allocations.
         """
         queue = self.queues[bank_id]
         if not queue:
             return None
-        oldest = queue[0]
-        hit_index = None
-        if bank.open_row is not None:
-            for index, req in enumerate(queue):
-                if req.addr is not None and req.addr.row == bank.open_row:
-                    hit_index = index
+        chosen = None
+        open_row = bank.open_row
+        if open_row is not None:
+            hits = self._consecutive_hits
+            index = 0
+            for req in queue:
+                if req.addr.row == open_row:
+                    if index == 0 or hits[bank_id] < self.cap:
+                        chosen = req
+                        del queue[index]
+                        if index > 0:
+                            hits[bank_id] += 1
                     break
-        use_hit = (
-            hit_index is not None
-            and (hit_index == 0 or self._consecutive_hits[bank_id] < self.cap)
-        )
-        if use_hit:
-            assert hit_index is not None
-            chosen = queue[hit_index]
-            del queue[hit_index]
-            if hit_index > 0:
-                self._consecutive_hits[bank_id] += 1
-        else:
+                index += 1
+        if chosen is None:
+            # No row hit queued, or the hit cap is exhausted: serve the
+            # oldest request and reset the consecutive-hit streak.
             self._consecutive_hits[bank_id] = 0
-            queue.popleft()
-            chosen = oldest
+            chosen = queue.popleft()
         self._total_pending -= 1
         if not queue:
-            self._busy.discard(bank_id)
+            self._busy.remove(bank_id)
         return chosen

@@ -3,6 +3,14 @@
 The attacks observe *memory access latency over time*; the defense
 evaluation observes *how many RFMs of which provenance were issued*.
 Both observables are recorded here.
+
+Hot-path design: the default path keeps **aggregate counters only** —
+per-request scalars plus per-core and per-provenance running totals —
+so a long performance run allocates nothing per request.  Full
+:class:`LatencySample` records are opt-in (``record_samples=True``,
+for attacker-observation experiments); RFM records are always kept
+(RFMs are ~10⁴× rarer than requests) but counted incrementally so
+:meth:`rfm_count` never rescans the list.
 """
 
 from __future__ import annotations
@@ -50,20 +58,64 @@ class ControllerStats:
     latency_samples: List[LatencySample] = field(default_factory=list)
     rfm_records: List[RfmRecord] = field(default_factory=list)
     record_samples: bool = True
+    #: per-core running aggregates (kept on every path; O(1) updates)
+    core_requests: Dict[int, int] = field(default_factory=dict)
+    core_latency_total: Dict[int, float] = field(default_factory=dict)
+    #: per-provenance running RFM counts (avoids rescanning rfm_records)
+    rfm_counts: Dict[RfmProvenance, int] = field(default_factory=dict)
+    #: total rows mitigated across all RFMs (energy model input)
+    mitigated_row_total: int = 0
+    #: per-core sample index, maintained only when ``record_samples``
+    _samples_by_core: Dict[int, List[LatencySample]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
-    def record_request(self, sample: LatencySample) -> None:
-        """Account one completed request (and keep its sample)."""
+    def record_completion(
+        self,
+        time: float,
+        latency: float,
+        core_id: int,
+        bank_id: int,
+        row: int,
+        was_hit: bool,
+    ) -> None:
+        """Account one completed request from scalars (hot path).
+
+        Builds a :class:`LatencySample` only when sample recording is
+        enabled; the default path touches counters alone.
+        """
         self.requests_served += 1
-        self.total_latency += sample.latency
-        if sample.was_hit:
+        self.total_latency += latency
+        if was_hit:
             self.row_hits += 1
+        core_requests = self.core_requests
+        if core_id in core_requests:
+            core_requests[core_id] += 1
+            self.core_latency_total[core_id] += latency
+        else:
+            core_requests[core_id] = 1
+            self.core_latency_total[core_id] = latency
         if self.record_samples:
+            sample = LatencySample(time, latency, core_id, bank_id, row, was_hit)
             self.latency_samples.append(sample)
+            self._samples_by_core.setdefault(core_id, []).append(sample)
+
+    def record_request(self, sample: LatencySample) -> None:
+        """Account one completed request given a pre-built sample."""
+        self.record_completion(
+            sample.time,
+            sample.latency,
+            sample.core_id,
+            sample.bank_id,
+            sample.row,
+            sample.was_hit,
+        )
 
     def record_rfm(self, record: RfmRecord) -> None:
-        """Append one issued-RFM record."""
+        """Append one issued-RFM record and bump its provenance counter."""
         self.rfm_records.append(record)
+        counts = self.rfm_counts
+        counts[record.provenance] = counts.get(record.provenance, 0) + 1
+        self.mitigated_row_total += len(record.mitigated_rows)
 
     # ------------------------------------------------------------------
     @property
@@ -79,11 +131,18 @@ class ControllerStats:
         return self.row_hits / self.requests_served
 
     def rfm_count(self, provenance: Optional[RfmProvenance] = None) -> int:
-        """Number of RFMs issued, optionally filtered by provenance."""
+        """Number of RFMs issued, optionally filtered by provenance. O(1)."""
         if provenance is None:
             return len(self.rfm_records)
-        return sum(1 for r in self.rfm_records if r.provenance is provenance)
+        return self.rfm_counts.get(provenance, 0)
 
     def core_samples(self, core_id: int) -> List[LatencySample]:
-        """Latency samples belonging to one core."""
-        return [s for s in self.latency_samples if s.core_id == core_id]
+        """Latency samples belonging to one core (O(1) index lookup)."""
+        return self._samples_by_core.get(core_id, [])
+
+    def core_mean_latency(self, core_id: int) -> float:
+        """Mean end-to-end latency for one core's requests (no rescans)."""
+        n = self.core_requests.get(core_id, 0)
+        if n == 0:
+            return 0.0
+        return self.core_latency_total[core_id] / n

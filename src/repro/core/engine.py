@@ -2,9 +2,24 @@
 
 Every component of the reproduction (DRAM banks, the memory controller,
 trace-driven cores, attack processes) interacts through this engine.  The
-engine keeps a priority queue of :class:`Event` records ordered by
+engine keeps a priority queue of scheduled callbacks ordered by
 ``(time, priority, sequence)``; the sequence number makes scheduling
 deterministic when two events share a timestamp.
+
+Hot-path design (this is the innermost loop of every experiment):
+
+* Heap entries are plain ``(time, priority, seq, event)`` tuples, so
+  ``heapq`` sift comparisons run entirely in C tuple comparison code and
+  short-circuit at ``seq`` (which is unique) — the :class:`Event` object
+  itself is never compared.
+* :class:`Event` is a ``__slots__`` handle (no dataclass machinery, no
+  per-comparison key tuples); it exists only so callers can ``cancel()``.
+* Cancellation is lazy (O(1)): the entry stays in the heap and is
+  skipped when popped.  A live-event counter keeps :attr:`Engine.pending`
+  O(1) instead of rescanning the heap.
+* :meth:`Engine.run` is a single inlined loop with a same-time fast
+  path: consecutive events at the current timestamp skip the horizon
+  comparison and the clock write.
 
 Time unit: **nanoseconds** throughout the code base.
 """
@@ -12,29 +27,51 @@ Time unit: **nanoseconds** throughout the code base.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+_INF = float("inf")
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events are skipped when popped
-    (lazy deletion keeps cancellation O(1)).
+    The engine orders events by ``(time, priority, seq)``; ``cancelled``
+    events are skipped when popped (lazy deletion keeps cancellation
+    O(1)).  Once fired or cancelled an event is inert: ``cancel()`` on a
+    fired event is a no-op.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled", "engine")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        label: str,
+        engine: Optional["Engine"],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        engine = self.engine
+        if self.cancelled or engine is None:
+            return  # already cancelled, already fired, or detached
         self.cancelled = True
+        self.callback = None  # release the closure immediately
+        engine._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.engine is None else "pending")
+        return f"<Event t={self.time} prio={self.priority} seq={self.seq} {state} {self.label!r}>"
 
 
 class Engine:
@@ -50,9 +87,12 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list = []  # entries: (time, priority, seq, Event)
         self._seq: int = 0
         self._events_fired: int = 0
+        self._live: int = 0
+        self._stop: bool = False
+        self._drained: bool = False  # drain() happened inside run()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -74,9 +114,20 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event at {time} ns; now is {self.now} ns"
             )
-        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        # Inline Event construction (no __init__ call): this runs once
+        # per scheduled event and is measurably hot.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.callback = callback
+        event.label = label
+        event.cancelled = False
+        event.engine = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
         return event
 
     def schedule_after(
@@ -96,10 +147,13 @@ class Engine:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns False when none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
+            event.engine = None  # mark fired; cancel() becomes a no-op
+            self._live -= 1
             self.now = event.time
             event.callback()
             self._events_fired += 1
@@ -107,32 +161,78 @@ class Engine:
         return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the queue drains, ``until`` is reached, or
-        ``max_events`` events have fired (whichever comes first).
+        """Run events until the queue drains, ``until`` is reached,
+        ``max_events`` events have fired, or :meth:`request_stop` is
+        called from a callback (whichever comes first).
 
         When ``until`` is given, the clock is advanced to ``until`` even
         if the queue drains earlier, so wall-clock-based statistics are
-        well defined.
+        well defined (a :meth:`request_stop` exit skips that advance:
+        the stopper wants the clock frozen at the stopping event).
         """
+        heap = self._heap
+        pop = heapq.heappop
+        horizon = _INF if until is None else until
+        limit = -1 if max_events is None else max_events
         fired = 0
-        while self._heap:
-            if max_events is not None and fired >= max_events:
-                return
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
-                break
-            self.step()
-            fired += 1
+        now = self.now
+        self._stop = False
+        self._drained = False  # only a drain *during* this run matters
+        if horizon < now:
+            return  # horizon already in the past: nothing can fire
+        try:
+            while heap:
+                if fired == limit:
+                    return
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                time = entry[0]
+                if time != now:
+                    # New timestamp: check the horizon and advance the
+                    # clock.  Same-time events (the cascade case) skip both.
+                    if time > horizon:
+                        break
+                    self.now = now = time
+                pop(heap)
+                event.engine = None  # mark fired; cancel() becomes a no-op
+                fired += 1  # counted at pop so the tallies stay exact
+                event.callback()    # even if the callback raises
+                if self._stop:
+                    self._stop = False
+                    return
+        finally:
+            # Batched outside the loop; exact on every exit path.
+            self._events_fired += fired
+            if self._drained:
+                # drain() ran inside a callback and zeroed the counter
+                # mid-run: the heap is now the ground truth.
+                self._drained = False
+                self._live = sum(1 for entry in heap if not entry[3].cancelled)
+            else:
+                self._live -= fired
         if until is not None and self.now < until:
             self.now = until
 
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to return before popping the next event.
+
+        Intended to be called from inside an event callback (e.g. a
+        completion hook deciding the simulation's goal is reached); the
+        event in flight finishes normally.
+        """
+        self._stop = True
+
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1).
+
+        Exact between :meth:`run` calls; while a run is in progress the
+        batched bookkeeping settles when the run returns.
+        """
+        return self._live
 
     @property
     def events_fired(self) -> int:
@@ -141,4 +241,8 @@ class Engine:
 
     def drain(self) -> None:
         """Discard all pending events (used by tests and teardown)."""
+        for entry in self._heap:
+            entry[3].engine = None  # detach so late cancel() stays a no-op
         self._heap.clear()
+        self._live = 0
+        self._drained = True  # tell an in-flight run() the count was reset

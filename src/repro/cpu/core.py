@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, TYPE_CHECKING
+from functools import partial
+from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from repro.controller.request import MemRequest
 from repro.cpu.cache import CacheHierarchy
@@ -63,10 +64,22 @@ class TraceCore:
         self.dram_requests = 0
         self.finished = False
         self.finish_time: Optional[float] = None
+        #: optional hook fired once when the core finishes its trace
+        self.on_finish: Optional[Callable[["TraceCore"], None]] = None
         #: inst numbers of outstanding DRAM requests, oldest first
         self._outstanding: Deque[int] = deque()
         self._stalled = False
         self._started = False
+        # Hot-path caches: plain attribute loads instead of dataclass
+        # attribute chains / properties inside _advance (identical values,
+        # so timing results are bit-for-bit unchanged).
+        params = self.params
+        self._cycle_ns = params.cycle_ns
+        self._width = params.width
+        self._rob_size = params.rob_size
+        self._max_outstanding = params.max_outstanding
+        self._mem_label = f"core{core_id}-mem"
+        self._budget = float("inf") if max_requests is None else max_requests
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -90,10 +103,18 @@ class TraceCore:
         """Consume trace records until blocked or done."""
         if self.finished:
             return
-        budget_spent = (
-            self.max_requests is not None and self.dram_requests >= self.max_requests
-        )
-        record = None if budget_spent else self.cursor.next()
+        if self.dram_requests >= self._budget:
+            record = None
+        else:
+            # Inline TraceCursor.next's common case (in-range, no loop).
+            cursor = self.cursor
+            records = cursor.records
+            position = cursor.position
+            if position < len(records):
+                record = records[position]
+                cursor.position = position + 1
+            else:
+                record = cursor.next()  # exhausted or looping trace
         if record is None:
             if not self._outstanding:
                 self._finish()
@@ -102,18 +123,19 @@ class TraceCore:
             return
 
         # ROB window check: cannot run past the oldest miss + rob_size.
-        if self._outstanding:
-            oldest = self._outstanding[0]
+        outstanding = self._outstanding
+        if outstanding:
+            oldest = outstanding[0]
             if (
                 self.insts_retired + record.gap_insts + 1 - oldest
-                > self.params.rob_size
-                or len(self._outstanding) >= self.params.max_outstanding
+                > self._rob_size
+                or len(outstanding) >= self._max_outstanding
             ):
                 self._stalled = True
                 self.cursor.position = max(0, self.cursor.position - 1)
                 return
 
-        compute_ns = (record.gap_insts / self.params.width) * self.params.cycle_ns
+        compute_ns = (record.gap_insts / self._width) * self._cycle_ns
         self.insts_retired += record.gap_insts + 1
         extra_ns = 0.0
         needs_dram = True
@@ -125,14 +147,16 @@ class TraceCore:
             extra_ns += lookup_ns
             if writeback is not None:
                 self._issue_dram(writeback, is_write=True, count_outstanding=False)
+        engine = self.engine
         if needs_dram:
-            self.engine.schedule_after(
-                compute_ns + extra_ns,
-                lambda rec=record: self._issue_dram(rec.phys_addr, rec.is_write),
-                label=f"core{self.core_id}-mem",
+            engine.schedule(
+                engine.now + compute_ns + extra_ns,
+                partial(self._issue_dram, record.phys_addr, record.is_write),
+                0,
+                self._mem_label,
             )
         else:
-            self.engine.schedule_after(compute_ns + extra_ns, self._advance)
+            engine.schedule(engine.now + compute_ns + extra_ns, self._advance)
 
     def _issue_dram(
         self, phys_addr: int, is_write: bool, count_outstanding: bool = True
@@ -157,8 +181,12 @@ class TraceCore:
             self.engine.schedule(self.engine.now, self._advance)
 
     def _dram_done(self, inst_mark: int) -> None:
+        outstanding = self._outstanding
         try:
-            self._outstanding.remove(inst_mark)
+            if outstanding and outstanding[0] == inst_mark:
+                outstanding.popleft()  # completions are mostly in order
+            else:
+                outstanding.remove(inst_mark)
         except ValueError:  # pragma: no cover - defensive
             pass
         if self._stalled:
@@ -169,3 +197,5 @@ class TraceCore:
         if not self.finished:
             self.finished = True
             self.finish_time = self.engine.now
+            if self.on_finish is not None:
+                self.on_finish(self)

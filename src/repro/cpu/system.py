@@ -81,7 +81,16 @@ class System:
                 caches=caches,
                 max_requests=max_requests_per_core,
             )
+            core.on_finish = self._core_finished
             self.cores.append(core)
+        self._unfinished = len(self.cores)
+
+    def _core_finished(self, core: TraceCore) -> None:
+        """Per-core finish hook: stop the engine once the last core is
+        done — an O(1) counter instead of scanning every core per event."""
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            self.engine.request_stop()
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> SystemResult:
@@ -92,15 +101,23 @@ class System:
         """
         for core in self.cores:
             core.start()
-        fired = 0
-        while fired < max_events:
-            if until is not None and self.engine.now >= until:
-                break
-            if all(core.finished for core in self.cores):
-                break
-            if not self.engine.step():
-                break
-            fired += 1
+        if until is None:
+            # Fast path: the engine's inlined loop runs the whole
+            # simulation; the per-core finish hooks request a stop as the
+            # last core completes — exactly where the scanning loop below
+            # would have broken, with no O(cores) check per event.
+            if self._unfinished > 0:
+                self.engine.run(max_events=max_events)
+        else:
+            fired = 0
+            while fired < max_events:
+                if self.engine.now >= until:
+                    break
+                if self._unfinished == 0:
+                    break
+                if not self.engine.step():
+                    break
+                fired += 1
         stats = self.controller.stats
         provenance_counts: Dict[str, int] = {}
         for record in stats.rfm_records:

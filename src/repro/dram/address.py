@@ -15,15 +15,20 @@ Two mappings are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from repro.dram.config import DramOrganization
 
 
-@dataclass(frozen=True, order=True)
-class DramAddress:
-    """A decoded DRAM coordinate."""
+class DramAddress(NamedTuple):
+    """A decoded DRAM coordinate.
+
+    A ``NamedTuple`` rather than a frozen dataclass: addresses are
+    created once per decoded request on the simulator's hot path, and
+    tuple construction is several times cheaper than a frozen
+    dataclass's ``object.__setattr__`` init while keeping the same
+    immutability, equality, hashing and field ordering semantics.
+    """
 
     channel: int
     rank: int
@@ -114,25 +119,29 @@ class MopMapping(AddressMapping):
         self.mop_width = mop_width
 
     def decode(self, phys_addr: int) -> DramAddress:
+        # Direct div/mod chain (equivalent to _split, without the
+        # temporary list/tuple): this runs once per DRAM request.
         org = self.org
+        mop_width = self.mop_width
         line = phys_addr // org.cacheline_bytes
-        col_blocks = org.columns_per_row // self.mop_width
-        col_low, bank, bank_group, rank, col_high, row = self._split(
-            line,
-            self.mop_width,
-            org.banks_per_group,
-            org.bank_groups,
-            org.ranks,
-            col_blocks,
-        )
-        column = col_high * self.mop_width + col_low
+        col_low = line % mop_width
+        line //= mop_width
+        bank = line % org.banks_per_group
+        line //= org.banks_per_group
+        bank_group = line % org.bank_groups
+        line //= org.bank_groups
+        rank = line % org.ranks
+        line //= org.ranks
+        col_blocks = org.columns_per_row // mop_width
+        col_high = line % col_blocks
+        row = line // col_blocks
         return DramAddress(
             channel=0,
             rank=rank,
             bank_group=bank_group,
             bank=bank,
             row=row % org.rows_per_bank,
-            column=column,
+            column=col_high * mop_width + col_low,
         )
 
     def encode(self, addr: DramAddress) -> int:

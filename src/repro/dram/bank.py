@@ -51,6 +51,11 @@ class Bank:
         self.activations_since_rfm: int = 0  # for BAT / ACB-RFM
         # Observers notified on each activation: f(bank, row, count).
         self._act_observers: List[Callable[["Bank", int, int], None]] = []
+        # Hot-path caches (identical values; avoids two attribute hops
+        # per ACT/PRE through config.timing/organization).
+        self._tRC = config.timing.tRC
+        self._tRP = config.timing.tRP
+        self._rows_per_bank = config.organization.rows_per_bank
 
     # ------------------------------------------------------------------
     # Observation hooks (mitigation queues, alert logic subscribe here)
@@ -64,10 +69,10 @@ class Bank:
     # ------------------------------------------------------------------
     def activate(self, row: int, time: float) -> int:
         """Open ``row`` at ``time``; returns the row's new PRAC count."""
-        if not 0 <= row < self.config.organization.rows_per_bank:
+        if not 0 <= row < self._rows_per_bank:
             raise ValueError(f"row {row} out of range for bank {self.bank_id}")
         self.open_row = row
-        self.ready_at = time + self.config.timing.tRC
+        self.ready_at = time + self._tRC
         self.stats.activations += 1
         self.activations_since_rfm += 1
         count = self.counters.get(row, 0) + 1
@@ -80,7 +85,7 @@ class Bank:
         """Close the open row (if any)."""
         self.open_row = None
         self.stats.precharges += 1
-        self.precharge_done_at = time + self.config.timing.tRP
+        self.precharge_done_at = time + self._tRP
 
     def record_column(self, is_write: bool) -> None:
         """Account one column command in the bank statistics."""

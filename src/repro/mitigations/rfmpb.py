@@ -63,6 +63,9 @@ class PerBankRfmPolicy(MitigationPolicy):
         self._next_bank = (self._next_bank + 1) % len(controller.channel.banks)
         start = max(controller.engine.now, controller.channel.blocked_until)
         controller.channel.block_bank(bank_id, start, controller.config.timing.tRFMpb)
+        # block_bank mutates bank timing state outside the controller's
+        # serve/RFM-burst paths: its ready-time cache must be dropped.
+        controller._invalidate_ready_cache()
         victim = self.queues[bank_id].pop_victim()
         mitigated = {}
         if victim is not None:

@@ -51,6 +51,13 @@ class AboProtocol:
         self.grace_acts_left = 0
         self.recovery_acts_left = 0
         self.alert_count = 0
+        # Maintained flags (plain attributes, not properties): the
+        # controller reads these once per wake and per serve, so they
+        # are updated at each state transition instead of recomputed.
+        #: True while the Alert pin is asserted (state is ALERTED)
+        self.alert_pending = False
+        #: True once the grace activations are exhausted
+        self.must_mitigate_now = False
         #: controller registers a callback fired when Alert asserts:
         #: f(time, bank_id, row)
         self.on_alert: List[Callable[[float, int, int], None]] = []
@@ -63,6 +70,8 @@ class AboProtocol:
         prac = self.config.prac
         if self.state is AboState.ALERTED:
             self.grace_acts_left -= 1
+            if self.grace_acts_left <= 0:
+                self.must_mitigate_now = True
             return
         if self.state is AboState.RECOVERY:
             self.recovery_acts_left -= 1
@@ -79,6 +88,8 @@ class AboProtocol:
         self.alerting_bank = bank_id
         self.alerting_row = row
         self.grace_acts_left = prac.abo_act
+        self.alert_pending = True
+        self.must_mitigate_now = prac.abo_act <= 0
         self.alert_count += 1
         for hook in self.on_alert:
             hook(self._now(), bank_id, row)
@@ -90,15 +101,6 @@ class AboProtocol:
     # ------------------------------------------------------------------
     # Controller-side notifications
     # ------------------------------------------------------------------
-    @property
-    def alert_pending(self) -> bool:
-        return self.state is AboState.ALERTED
-
-    @property
-    def must_mitigate_now(self) -> bool:
-        """True once the grace activations are exhausted."""
-        return self.state is AboState.ALERTED and self.grace_acts_left <= 0
-
     def rfm_burst_size(self) -> int:
         """Number of RFMab commands the controller must issue (N_mit)."""
         return self.config.prac.prac_level
@@ -111,6 +113,8 @@ class AboProtocol:
         self.recovery_acts_left = self.config.prac.abo_delay
         self.alerting_bank = None
         self.alerting_row = None
+        self.alert_pending = False
+        self.must_mitigate_now = False
 
     def reset(self) -> None:
         """Return to IDLE (used on tREFW counter resets in some designs)."""
@@ -119,3 +123,5 @@ class AboProtocol:
         self.recovery_acts_left = 0
         self.alerting_bank = None
         self.alerting_row = None
+        self.alert_pending = False
+        self.must_mitigate_now = False

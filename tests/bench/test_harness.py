@@ -1,0 +1,39 @@
+"""Unit tests for the bench measurement harness."""
+
+import pytest
+
+from repro import bench
+from repro.bench import harness
+
+
+def test_measure_workload_shapes_the_result_block():
+    block = bench.measure_workload("scheduler_pick", reps=2, warmup=0)
+    assert block["reps"] == 2
+    assert block["warmup"] == 0
+    assert block["unit"] == "picks"
+    assert len(block["wall_seconds_all"]) == 2
+    assert block["wall_seconds_best"] == min(block["wall_seconds_all"])
+    assert block["units_per_sec"] > 0
+    # the microbench has no engine, so no events_per_sec key
+    assert "events_per_sec" not in block
+
+
+def test_measure_workload_rejects_nonpositive_reps():
+    with pytest.raises(ValueError):
+        bench.measure_workload("scheduler_pick", reps=0)
+
+
+def test_run_bench_selects_workloads_and_stamps_metadata():
+    report = bench.run_bench(["scheduler_pick"], reps=1, warmup=0, rev="test-rev")
+    assert report["schema"] == "repro-bench-v1"
+    assert report["rev"] == "test-rev"
+    assert list(report["workloads"]) == ["scheduler_pick"]
+    assert report["python"]
+    assert report["timestamp"] > 0
+
+
+def test_detect_revision_falls_back_to_version(monkeypatch):
+    monkeypatch.setattr(harness, "git_describe", lambda: None)
+    from repro import __version__
+
+    assert harness.detect_revision() == f"v{__version__}"

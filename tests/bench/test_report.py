@@ -1,0 +1,82 @@
+"""Unit tests for BENCH json persistence, baselines, and comparisons."""
+
+import json
+
+from repro import bench
+
+
+def _report(rev, events_per_sec, timestamp=1.0, acceptance=True):
+    return {
+        "schema": "repro-bench-v1",
+        "rev": rev,
+        "timestamp": timestamp,
+        "workloads": {
+            "perf_multi_core": {
+                "title": "t",
+                "acceptance": acceptance,
+                "reps": 1,
+                "unit": "requests",
+                "work_units": 10,
+                "events": 100,
+                "sim_ns": 5.0,
+                "wall_seconds_best": 0.1,
+                "units_per_sec": 100.0,
+                "events_per_sec": events_per_sec,
+            }
+        },
+    }
+
+
+def test_bench_filename_mangles_hostile_characters():
+    assert bench.bench_filename("abc1234") == "BENCH_abc1234.json"
+    assert bench.bench_filename("a/b c") == "BENCH_a-b-c.json"
+    assert bench.bench_filename("abc1234-dirty") == "BENCH_abc1234-dirty.json"
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = bench.write_report(_report("r1", 1000.0), tmp_path)
+    assert path.name == "BENCH_r1.json"
+    assert bench.load_report(path)["rev"] == "r1"
+
+
+def test_find_baseline_picks_newest_and_excludes_current_rev(tmp_path):
+    bench.write_report(_report("old", 500.0, timestamp=1.0), tmp_path)
+    bench.write_report(_report("new", 800.0, timestamp=2.0), tmp_path)
+    bench.write_report(_report("cur", 900.0, timestamp=3.0), tmp_path)
+    baseline = bench.find_baseline(tmp_path, exclude_rev="cur")
+    assert baseline["rev"] == "new"
+    assert bench.find_baseline(tmp_path)["rev"] == "cur"
+
+
+def test_find_baseline_handles_missing_dir_and_junk(tmp_path):
+    assert bench.find_baseline(tmp_path / "absent") is None
+    (tmp_path / "BENCH_junk.json").write_text("{not json")
+    (tmp_path / "BENCH_list.json").write_text(json.dumps([1, 2]))
+    assert bench.find_baseline(tmp_path) is None
+
+
+def test_compare_computes_ratio_without_warning_on_speedup():
+    comparison = bench.compare(_report("cur", 3000.0), _report("base", 1000.0))
+    assert comparison["baseline_rev"] == "base"
+    assert comparison["ratios"]["perf_multi_core"] == 3.0
+    assert comparison["warnings"] == []
+
+
+def test_compare_warns_on_regression_beyond_threshold():
+    comparison = bench.compare(_report("cur", 700.0), _report("base", 1000.0))
+    assert len(comparison["warnings"]) == 1
+    assert "below" in comparison["warnings"][0]
+
+
+def test_compare_tolerates_small_noise():
+    comparison = bench.compare(_report("cur", 850.0), _report("base", 1000.0))
+    assert comparison["warnings"] == []
+
+
+def test_format_report_renders_rates_and_comparison():
+    report = _report("cur", 3000.0)
+    report["comparison"] = bench.compare(report, _report("base", 1000.0))
+    text = bench.format_report(report)
+    assert "perf_multi_core" in text
+    assert "3.00x vs baseline" in text
+    assert "no regression" in text

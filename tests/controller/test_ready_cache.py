@@ -1,0 +1,55 @@
+"""Equivalence net for the controller's per-bank ready-time cache.
+
+The cache must be invisible: every simulation must produce exactly the
+results it would with caching disabled (cache dropped before every
+wake).  Running both variants across the mitigation registry exercises
+every policy's bank/channel mutation pattern — a policy that mutates
+bank timing state without invalidating the cache (the rfmpb
+``block_bank`` regression) fails here.
+"""
+
+import pytest
+
+from repro.campaigns.runners import build_policy
+from repro.campaigns.scenario import Scenario
+from repro.controller.controller import MemoryController
+from repro.cpu.system import System
+from repro.mitigations import available
+from repro.workloads.synthetic import homogeneous_traces
+
+
+def _run(mitigation, disable_cache):
+    scenario = Scenario(
+        attack="perf", mitigation=mitigation, workload="433.milc", nbo=64
+    )
+    traces = homogeneous_traces("433.milc", cores=2, num_accesses=400, seed=3)
+    system = System(traces, policy=build_policy(scenario, seed=3))
+    if disable_cache:
+        controller = system.controller
+        original_wake = controller._wake
+
+        def uncached_wake():
+            controller._invalidate_ready_cache()
+            original_wake()
+
+        controller._wake_event = None
+        controller._wake = uncached_wake  # type: ignore[method-assign]
+    result = system.run()
+    stats = system.controller.stats
+    return (
+        result.elapsed_ns,
+        result.ipcs,
+        stats.total_latency,
+        stats.row_hits,
+        stats.row_conflicts,
+        len(stats.rfm_records),
+        system.engine.events_fired,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mitigation", sorted(available()))
+def test_ready_cache_is_invisible_for_every_mitigation(mitigation):
+    assert _run(mitigation, disable_cache=False) == _run(
+        mitigation, disable_cache=True
+    )

@@ -86,3 +86,14 @@ def test_invalid_construction():
         FrFcfsScheduler(num_banks=0)
     with pytest.raises(ValueError):
         FrFcfsScheduler(num_banks=1, cap=0)
+
+
+def test_banks_with_work_stays_sorted_through_churn(bank):
+    sched = FrFcfsScheduler(num_banks=8)
+    for bank_id in (5, 1, 7, 3):
+        sched.enqueue(_req(row=0), bank_id)
+    assert list(sched.banks_with_work()) == [1, 3, 5, 7]
+    sched.pick(3, bank)  # empties bank 3
+    assert list(sched.banks_with_work()) == [1, 5, 7]
+    sched.enqueue(_req(row=1), 0)
+    assert list(sched.banks_with_work()) == [0, 1, 5, 7]

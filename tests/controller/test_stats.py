@@ -54,3 +54,35 @@ def test_core_samples_filtering():
     stats.record_request(_sample(core_id=1))
     stats.record_request(_sample(core_id=1))
     assert len(stats.core_samples(1)) == 2
+
+
+def test_rfm_counts_are_maintained_incrementally():
+    stats = ControllerStats()
+    stats.record_rfm(RfmRecord(time=0.0, provenance=RfmProvenance.ABO,
+                               mitigated_rows={0: 5, 1: 9}))
+    stats.record_rfm(RfmRecord(time=1.0, provenance=RfmProvenance.TB))
+    assert stats.rfm_counts[RfmProvenance.ABO] == 1
+    assert stats.rfm_counts[RfmProvenance.TB] == 1
+    assert stats.mitigated_row_total == 2
+
+
+def test_per_core_running_counters_on_the_default_path():
+    stats = ControllerStats(record_samples=False)
+    stats.record_completion(10.0, 100.0, core_id=0, bank_id=0, row=0, was_hit=False)
+    stats.record_completion(20.0, 300.0, core_id=0, bank_id=1, row=2, was_hit=True)
+    stats.record_completion(30.0, 50.0, core_id=1, bank_id=0, row=0, was_hit=False)
+    assert stats.core_requests == {0: 2, 1: 1}
+    assert stats.core_mean_latency(0) == 200.0
+    assert stats.core_mean_latency(1) == 50.0
+    assert stats.core_mean_latency(9) == 0.0
+    assert stats.latency_samples == []        # no samples allocated
+    assert stats.core_samples(0) == []
+
+
+def test_core_samples_index_when_recording_enabled():
+    stats = ControllerStats(record_samples=True)
+    stats.record_request(_sample(core_id=2, latency=80.0))
+    stats.record_request(_sample(core_id=3, latency=90.0))
+    stats.record_request(_sample(core_id=2, latency=100.0))
+    assert [s.latency for s in stats.core_samples(2)] == [80.0, 100.0]
+    assert stats.core_samples(2) == [s for s in stats.latency_samples if s.core_id == 2]

@@ -224,3 +224,128 @@ def test_events_fired_counts_across_multiple_runs():
     engine.schedule(2.0, lambda: None)
     engine.run()
     assert engine.events_fired == 2
+
+
+# ----------------------------------------------------------------------
+# Fast-path kernel behaviors (slots Event, live counter, stop flag)
+# ----------------------------------------------------------------------
+def test_pending_is_maintained_without_heap_scans():
+    engine = Engine()
+    events = [engine.schedule(float(i), lambda: None) for i in range(5)]
+    assert engine.pending == 5
+    events[2].cancel()
+    assert engine.pending == 4
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_double_cancel_decrements_pending_once():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert engine.pending == 1
+
+
+def test_cancel_after_fire_is_a_noop():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run(until=1.5)
+    event.cancel()  # already fired: must not corrupt the live counter
+    assert engine.pending == 1
+    assert engine.events_fired == 1
+
+
+def test_cancel_after_drain_is_a_noop():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    engine.drain()
+    event.cancel()
+    assert engine.pending == 0
+
+
+def test_cancelled_event_releases_its_callback():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    event.cancel()
+    assert event.callback is None
+    assert event.cancelled
+
+
+def test_request_stop_halts_before_the_next_event():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: (fired.append(1), engine.request_stop()))
+    engine.schedule(2.0, lambda: fired.append(2))
+    engine.run()
+    assert fired == [1]
+    assert engine.pending == 1
+    engine.run()  # a fresh run resumes normally
+    assert fired == [1, 2]
+
+
+def test_request_stop_skips_the_until_clock_advance():
+    engine = Engine()
+    engine.schedule(1.0, engine.request_stop)
+    engine.run(until=100.0)
+    assert engine.now == 1.0
+
+
+def test_run_with_until_in_the_past_fires_nothing():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append(1))
+    engine.run()  # now == 5.0
+    engine.schedule(5.0, lambda: fired.append(2))
+    engine.run(until=3.0)  # horizon before now: nothing may fire
+    assert fired == [1]
+    assert engine.now == 5.0
+
+
+def test_event_exposes_its_sort_key_fields():
+    engine = Engine()
+    event = engine.schedule(7.0, lambda: None, priority=3, label="x")
+    assert (event.time, event.priority, event.seq) == (7.0, 3, 0)
+    assert event.label == "x"
+
+
+def test_events_fired_is_exact_when_a_callback_raises():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    engine.schedule(2.0, boom)
+    with pytest.raises(RuntimeError):
+        engine.run()
+    assert engine.events_fired == 2  # the raising event still fired
+    assert engine.pending == 0
+
+
+def test_drain_inside_a_callback_keeps_pending_exact():
+    engine = Engine()
+    engine.schedule(1.0, engine.drain)
+    engine.schedule(2.0, lambda: None)  # discarded by the drain
+    engine.run()
+    assert engine.pending == 0
+    assert engine.events_fired == 1
+
+
+def test_drain_inside_a_callback_counts_events_scheduled_after_it():
+    engine = Engine()
+
+    def drain_then_reschedule():
+        engine.drain()
+        engine.schedule(5.0, lambda: None)
+        engine.schedule(6.0, lambda: None)
+        engine.request_stop()
+
+    engine.schedule(1.0, drain_then_reschedule)
+    engine.schedule(2.0, lambda: None)  # discarded by the drain
+    engine.run()
+    assert engine.pending == 2  # the two post-drain events are still live
+    engine.run()
+    assert engine.pending == 0

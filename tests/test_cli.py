@@ -102,3 +102,51 @@ def test_suite_command_reports_cache_hits(tmp_path, capsys):
     capsys.readouterr()
     assert main(["suite", "--only", "fig8", "--out", str(out_dir)]) == 0
     assert "cached" in capsys.readouterr().out
+
+
+def test_bench_list_prints_workloads(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("perf_multi_core", "perf_single_core",
+                 "campaign_smoke", "scheduler_pick"):
+        assert name in out
+    assert "acceptance workload" in out
+
+
+def test_bench_flags_rejected_on_other_commands(capsys):
+    assert main(["fig7", "--smoke"]) == 2
+    err = capsys.readouterr().err
+    assert "--smoke" in err
+    assert main(["suite", "--reps", "3"]) == 2
+
+
+def test_bench_rejects_unknown_workload(capsys):
+    assert main(["bench", "--only", "nope", "--out", "ignored"]) == 2
+    assert "unknown bench workload" in capsys.readouterr().err
+
+
+def test_bench_smoke_writes_report_with_comparison(tmp_path, capsys):
+    out_dir = tmp_path / "trajectory"
+    out_dir.mkdir()
+    code = main([
+        "bench", "--smoke", "--only", "scheduler_pick",
+        "--out", str(out_dir), "--rev", "first", "--baseline", str(out_dir),
+    ])
+    assert code == 0
+    first = json.loads((out_dir / "BENCH_first.json").read_text())
+    assert "scheduler_pick" in first["workloads"]
+    assert "comparison" not in first  # nothing to compare against yet
+    code = main([
+        "bench", "--smoke", "--only", "scheduler_pick",
+        "--out", str(out_dir), "--rev", "second", "--baseline", str(out_dir),
+    ])
+    assert code == 0
+    second = json.loads((out_dir / "BENCH_second.json").read_text())
+    assert second["comparison"]["baseline_rev"] == "first"
+    out = capsys.readouterr().out
+    assert "vs baseline rev first" in out
+
+
+def test_bench_only_without_names_rejected(capsys):
+    assert main(["bench", "--only"]) == 2
+    assert "no workload names" in capsys.readouterr().err

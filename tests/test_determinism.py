@@ -104,3 +104,87 @@ def test_same_seed_covert_trials_are_bit_identical():
         nbo=64, params={"symbols": 4},
     )
     assert _digest(run_trial(scenario, 9)) == _digest(run_trial(scenario, 9))
+
+
+# ----------------------------------------------------------------------
+# Kernel determinism: the fast-path event loop must fire the same
+# events in the same order on every same-seed run, and the experiment
+# harnesses built on it must reproduce their outputs exactly.
+# ----------------------------------------------------------------------
+def _traced_system_run(cores=2, requests=250):
+    """Run a small perf system recording (time, label) per fired event."""
+    from repro.experiments.common import DesignPoint, build_system, homogeneous_traces
+
+    traces = homogeneous_traces(
+        "433.milc", cores=cores, num_accesses=requests, seed=7
+    )
+    system = build_system(DesignPoint(design="tprac", nrh=1024), traces)
+    engine = system.engine
+    original_schedule = engine.schedule
+    trace = []
+
+    def tracing_schedule(time, callback, priority=0, label=""):
+        def wrapped():
+            trace.append((engine.now, label))
+            callback()
+
+        return original_schedule(time, wrapped, priority, label)
+
+    engine.schedule = tracing_schedule
+    result = system.run()
+    return trace, result
+
+
+@pytest.mark.slow
+def test_same_seed_runs_fire_identical_event_sequences():
+    trace_a, result_a = _traced_system_run()
+    trace_b, result_b = _traced_system_run()
+    assert trace_a == trace_b
+    assert len(trace_a) > 1000
+    assert result_a.ipcs == result_b.ipcs
+    assert result_a.elapsed_ns == result_b.elapsed_ns
+
+
+@pytest.mark.slow
+def test_fig10_quick_outputs_are_bit_identical_across_runs():
+    from repro.experiments import fig10_performance
+
+    kwargs = dict(workloads=("433.milc",), requests_per_core=300)
+    first = fig10_performance.run(**kwargs)
+    second = fig10_performance.run(**kwargs)
+    assert first.matrix == second.matrix
+
+
+@pytest.mark.slow
+def test_fig3_quick_outputs_are_bit_identical_across_runs():
+    from repro.experiments import fig3_latency
+
+    first = fig3_latency.run(nbo=256)
+    second = fig3_latency.run(nbo=256)
+    assert first.format_table() == second.format_table()
+    for label, timeline in first.timelines.items():
+        other = second.timelines[label]
+        assert timeline.times == other.times
+        assert timeline.latencies == other.latencies
+
+
+def test_campaign_smoke_scenario_hashes_are_pinned():
+    # Content-hash IDs identify persisted campaign results; they must
+    # not move when the kernel internals change.  Golden values were
+    # captured on the pre-fast-path kernel.
+    from repro.campaigns import builtin_scenarios
+
+    assert [s.scenario_id for s in builtin_scenarios("smoke")] == [
+        "b96dde42fa71",
+        "9b2e4950526c",
+        "2e4dd60e9ecd",
+        "69a7b36da3d6",
+        "bb8aca9c1b83",
+        "c04331539422",
+        "cf86827ccb59",
+        "da6534cb71de",
+        "f6873422c3e0",
+        "1963edc70254",
+        "5ce2b861a76a",
+        "a0c48b3d162d",
+    ]
