@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify smoke test suite bench bench-smoke bench-artifacts
+.PHONY: verify smoke test suite bench bench-smoke bench-artifacts lint coverage
 
 verify:            ## tier-1 tests + 2-artifact parallel suite run
 	./scripts/verify.sh
@@ -11,6 +11,12 @@ smoke:             ## fast regression net only (collection/registry/runner/CLI)
 
 test:              ## full tier-1 test suite
 	$(PYTHON) -m pytest -x -q
+
+lint:              ## ruff check (the CI lint gate); needs `pip install ruff`
+	ruff check .
+
+coverage:          ## tier-1 suite under coverage; needs `pip install pytest-cov`
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml
 
 suite:             ## all registered artifacts, parallel + cached
 	$(PYTHON) -m repro.cli suite --out results

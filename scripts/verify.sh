@@ -6,22 +6,41 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Single cleanup trap: successive `trap ... EXIT` lines REPLACE each
+# other (only the last would fire), so every temp dir registers here
+# and one handler removes them all.
+cleanup_dirs=()
+cleanup() {
+    # Length guard: expanding an empty array under `set -u` errors on
+    # bash < 4.4.
+    if ((${#cleanup_dirs[@]})); then
+        rm -rf "${cleanup_dirs[@]}"
+    fi
+}
+trap cleanup EXIT
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
 
 echo "== suite: 2-artifact parallel run =="
 out_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir"' EXIT
+cleanup_dirs+=("$out_dir")
 python -m repro.cli suite --jobs 2 --only fig7 fig8 --out "$out_dir" --no-cache
 
 echo "== campaign: 12-scenario smoke grid (pool + resume) =="
 camp_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir" "$camp_dir"' EXIT
+cleanup_dirs+=("$camp_dir")
 python -m repro.cli campaign --campaign smoke --trials 3 --jobs 2 --out "$camp_dir"
 # re-run with --resume: every scenario must be served from cache
 resume_out="$(python -m repro.cli campaign --campaign smoke --trials 3 --jobs 2 \
     --out "$camp_dir" --resume)"
 grep -q cached <<<"$resume_out"
+
+echo "== campaign: channel-count sweep (multi-channel smoke) =="
+chan_dir="$(mktemp -d)"
+cleanup_dirs+=("$chan_dir")
+python -m repro.cli campaign --grid channels=1,2,4 --trials 1 --jobs 2 \
+    --out "$chan_dir"
 
 echo "== bench: smoke run vs committed trajectory (soft) =="
 # Single repetition against the newest committed BENCH_<rev>.json; a
@@ -31,9 +50,13 @@ if [[ -n "${BENCH_OUT:-}" ]]; then
     bench_out="$BENCH_OUT"
 else
     bench_out="$(mktemp -d)"
-    trap 'rm -rf "$out_dir" "$camp_dir" "$bench_out"' EXIT
+    cleanup_dirs+=("$bench_out")
 fi
-python -m repro.cli bench --smoke --out "$bench_out" \
-    --baseline benchmarks/trajectory
+# The bench CLI prints the resolved baseline file it compared against
+# (`baseline: <path>`); require that line so the soft compare is
+# auditable from the CI log.
+bench_log="$(python -m repro.cli bench --smoke --out "$bench_out" \
+    --baseline benchmarks/trajectory | tee /dev/stderr)"
+grep -q '^baseline: ' <<<"$bench_log"
 
 echo "verify: OK"

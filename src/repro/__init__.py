@@ -8,7 +8,8 @@ Layered architecture (bottom-up):
 * :mod:`repro.core` — discrete-event simulation kernel.
 * :mod:`repro.dram` — DDR5 device model with PRAC timings.
 * :mod:`repro.prac` — Alert Back-Off protocol and mitigation queues.
-* :mod:`repro.controller` — FR-FCFS memory controller + RFM issuing.
+* :mod:`repro.controller` — per-channel FR-FCFS memory controllers +
+  RFM issuing, behind a multi-channel :class:`MemorySystem` facade.
 * :mod:`repro.mitigations` — ABO-Only / ABO+ACB-RFM / TPRAC / §7 variants.
 * :mod:`repro.cpu` — trace-driven cores + cache hierarchy.
 * :mod:`repro.crypto` — AES-128 T-table substrate (the side-channel victim).
@@ -23,6 +24,7 @@ __version__ = "1.1.0"
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b, small_test_config
 from repro.controller.controller import MemoryController
+from repro.controller.memory_system import MemorySystem
 from repro.controller.request import MemRequest
 from repro.mitigations import (
     AboOnlyPolicy,
@@ -42,6 +44,7 @@ __all__ = [
     "Engine",
     "MemRequest",
     "MemoryController",
+    "MemorySystem",
     "NoMitigationPolicy",
     "ObfuscationPolicy",
     "PerBankRfmPolicy",

@@ -16,7 +16,7 @@ Used two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.dram.rank import Channel

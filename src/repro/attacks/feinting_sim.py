@@ -15,9 +15,9 @@ either the model or the defense).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Optional, Set
 
-from repro.analysis.feinting import acts_per_tb_window, feinting_target_acts
+from repro.analysis.feinting import feinting_target_acts
 from repro.attacks.probes import bank_address
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest

@@ -17,6 +17,7 @@ from repro.bench.report import (
     bench_filename,
     compare,
     find_baseline,
+    find_baseline_with_path,
     format_report,
     load_report,
     write_report,
@@ -40,6 +41,7 @@ __all__ = [
     "compare",
     "detect_revision",
     "find_baseline",
+    "find_baseline_with_path",
     "format_report",
     "get_workload",
     "load_report",

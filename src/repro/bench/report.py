@@ -50,10 +50,22 @@ def find_baseline(
     ``exclude_rev`` skips the current revision so a re-run compares
     against history rather than itself.
     """
+    doc, _ = find_baseline_with_path(trajectory_dir, exclude_rev=exclude_rev)
+    return doc
+
+
+def find_baseline_with_path(
+    trajectory_dir: PathLike, exclude_rev: Optional[str] = None
+) -> "tuple[Optional[Dict[str, Any]], Optional[Path]]":
+    """Like :func:`find_baseline`, also returning the file actually
+    read — callers that report which baseline they compared against
+    must name the real file, not reconstruct it from the embedded rev.
+    """
     root = Path(trajectory_dir)
     if not root.is_dir():
-        return None
+        return None, None
     best: Optional[Dict[str, Any]] = None
+    best_path: Optional[Path] = None
     for path in sorted(root.glob("BENCH_*.json")):
         try:
             doc = json.loads(path.read_text())
@@ -65,7 +77,8 @@ def find_baseline(
             continue
         if best is None or doc.get("timestamp", 0) > best.get("timestamp", 0):
             best = doc
-    return best
+            best_path = path
+    return best, best_path
 
 
 def compare(

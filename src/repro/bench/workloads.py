@@ -12,6 +12,10 @@ Workloads:
   This is the acceptance workload for kernel-throughput comparisons.
 * ``perf_single_core`` — the same device with a single 433.milc core;
   isolates per-event cost without bank-level parallelism pressure.
+* ``perf_multi_channel`` — the multi-core shape on a 2-channel device
+  (one controller + TPRAC instance per channel, cache lines striped
+  across channels); tracks the cost of the multi-channel wake/dispatch
+  machinery.
 * ``campaign_smoke`` — one pinned Monte Carlo ``perf`` trial through
   :func:`repro.campaigns.runners.run_trial` (the campaign engine's
   whole code path: scenario validation, policy construction, paired
@@ -25,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 #: Default repetitions / warmup per workload (CLI can override).
 DEFAULT_REPS = 5
@@ -43,13 +47,15 @@ class Measurement:
     unit: str              # name of the workload-specific unit
 
 
-def _system_measurement(cores: int, requests: int) -> Measurement:
+def _system_measurement(cores: int, requests: int, channels: int = 1) -> Measurement:
     from repro.experiments.common import DesignPoint, build_system, homogeneous_traces
 
     traces = homogeneous_traces(
         "433.milc", cores=cores, num_accesses=requests, seed=0
     )
-    system = build_system(DesignPoint(design="tprac", nrh=1024), traces)
+    system = build_system(
+        DesignPoint(design="tprac", nrh=1024), traces, channels=channels
+    )
     started = time.perf_counter()
     result = system.run()
     wall = time.perf_counter() - started
@@ -70,6 +76,11 @@ def _perf_multi_core() -> Measurement:
 def _perf_single_core() -> Measurement:
     """1-core 433.milc, TPRAC @ N_RH=1024."""
     return _system_measurement(cores=1, requests=1500)
+
+
+def _perf_multi_channel() -> Measurement:
+    """4-core 433.milc across 2 channels, TPRAC @ N_RH=1024 per channel."""
+    return _system_measurement(cores=4, requests=800, channels=2)
 
 
 def _campaign_smoke() -> Measurement:
@@ -173,6 +184,11 @@ WORKLOADS: Dict[str, BenchWorkload] = {
             name="perf_single_core",
             title="1-core 433.milc, TPRAC@1024",
             run=_perf_single_core,
+        ),
+        BenchWorkload(
+            name="perf_multi_channel",
+            title="4-core 433.milc, 2 channels, TPRAC@1024 per channel",
+            run=_perf_multi_channel,
         ),
         BenchWorkload(
             name="campaign_smoke",

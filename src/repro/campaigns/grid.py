@@ -20,7 +20,9 @@ from typing import Any, Dict, List, Mapping, Sequence
 from repro.campaigns.scenario import Scenario
 
 #: First-class scenario fields an axis can address directly.
-SCENARIO_AXES = ("attack", "mitigation", "workload", "dram", "nbo", "prac_level")
+SCENARIO_AXES = (
+    "attack", "mitigation", "workload", "dram", "nbo", "prac_level", "channels",
+)
 
 
 def expand_grid(axes: Mapping[str, Sequence[Any]]) -> List[Scenario]:

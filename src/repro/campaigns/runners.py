@@ -5,7 +5,10 @@ repository's simulators and returns a flat ``{metric: number}`` dict:
 
 * ``perf`` — no attacker: the scenario's workload runs under the named
   mitigation vs the PRAC-without-ABO baseline; the metric is the
-  paper's normalized-performance figure of merit.
+  paper's normalized-performance figure of merit.  With the
+  ``channels`` axis > 1 the systems run the full multi-channel memory
+  model (one controller + policy instance per channel) and the metrics
+  gain per-channel ``requests_chN`` / ``rfms_chN`` breakdowns.
 * ``covert_activity`` / ``covert_count`` — the PRACLeak covert
   channels, run against the named mitigation (the registry policy is
   injected into the channel's controller) with a seeded message and,
@@ -92,25 +95,40 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
     )
     config = scenario.dram_config()
     baseline_system = System(
-        traces, config=config, policy=make_policy("none"), enable_abo=False
+        traces,
+        config=config,
+        policy_factory=lambda: make_policy("none"),
+        enable_abo=False,
     )
     baseline = baseline_system.run()
+    # Mitigation state is strictly per-channel: the factory gives every
+    # controller its own policy instance, each with a distinct seed so
+    # stochastic policies (obfuscation) inject independent noise per
+    # channel.  Channel 0 keeps the bare trial seed, so single-channel
+    # scenarios reproduce the historical policy exactly.
     mitigated_system = System(
         traces,
         config=config,
-        policy=build_policy(scenario, seed=seed),
+        policy_factory=lambda channel_id: build_policy(
+            scenario, seed=seed + 100_003 * channel_id
+        ),
         enable_abo=scenario.mitigation != "none",
     )
     mitigated = mitigated_system.run()
     if system_probe is not None:
         system_probe(baseline_system)
         system_probe(mitigated_system)
-    return {
+    metrics = {
         "normalized_perf": mitigated.total_ipc / baseline.total_ipc,
         "ipc": mitigated.total_ipc,
         "baseline_ipc": baseline.total_ipc,
         "rfms": float(mitigated.rfm_total),
     }
+    if config.organization.channels > 1:
+        for slice_ in mitigated.per_channel:
+            metrics[f"rfms_ch{slice_.channel}"] = float(slice_.rfms)
+            metrics[f"requests_ch{slice_.channel}"] = float(slice_.requests)
+    return metrics
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,7 @@ class Scenario:
     dram: str = "ddr5_8000b"
     nbo: int = 256
     prac_level: int = 1
+    channels: int = 1
     params: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -79,23 +80,41 @@ class Scenario:
             raise ValueError("nbo must be positive")
         if self.prac_level not in (1, 2, 4):
             raise ValueError("prac_level must be 1, 2 or 4")
+        if not isinstance(self.channels, int) or self.channels < 1:
+            raise ValueError("channels must be a positive integer")
+        if self.channels != 1 and self.attack != "perf":
+            raise ValueError(
+                "channels > 1 is only modeled for perf scenarios; the "
+                "attack harnesses drive a single controller"
+            )
         if not isinstance(self.params, Mapping):
             raise ValueError("params must be a mapping")
         return self
 
     # ------------------------------------------------------------------
     def dram_config(self) -> DramConfig:
-        """The concrete device config (preset + this scenario's PRAC knobs)."""
-        return PRESETS[self.dram].with_prac(
+        """The concrete device config (preset + this scenario's PRAC and
+        channel knobs)."""
+        config = PRESETS[self.dram].with_prac(
             nbo=self.nbo, prac_level=self.prac_level
         )
+        if self.channels != 1:
+            config = config.with_organization(channels=self.channels)
+        return config
 
     # ------------------------------------------------------------------
     # Identity & serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON-able; params copied)."""
-        return {
+        """Plain-dict form (JSON-able; params copied).
+
+        ``channels`` is emitted only when it differs from the default
+        of 1: single-channel scenarios keep the exact spec dict (and
+        therefore the exact content-hash :attr:`scenario_id`) they had
+        before the multi-channel axis existed, so persisted campaign
+        results stay resumable.
+        """
+        spec: Dict[str, Any] = {
             "attack": self.attack,
             "mitigation": self.mitigation,
             "workload": self.workload,
@@ -104,6 +123,9 @@ class Scenario:
             "prac_level": self.prac_level,
             "params": dict(self.params),
         }
+        if self.channels != 1:
+            spec["channels"] = self.channels
+        return spec
 
     @classmethod
     def from_dict(cls, spec: Mapping[str, Any]) -> "Scenario":
@@ -132,6 +154,8 @@ class Scenario:
         parts.append(f"nbo{self.nbo}")
         if self.prac_level != 1:
             parts.append(f"lvl{self.prac_level}")
+        if self.channels != 1:
+            parts.append(f"{self.channels}ch")
         if self.dram != "ddr5_8000b":
             parts.append(self.dram)
         return "/".join(parts)

@@ -15,6 +15,7 @@ Usage::
         nbo=64,128 --trials 3 --out results/
     python -m repro.cli campaign --grid attack=aes_side_channel \\
         mitigation=abo_only,tprac nbo=128,256 --resume
+    python -m repro.cli campaign --grid channels=1,2,4 --trials 3
 
 Each artifact subcommand runs the matching harness from
 :mod:`repro.experiments` and prints the regenerated rows/series,
@@ -356,27 +357,38 @@ def _run_bench(args) -> int:
     report = bench.run_bench(names, reps=reps, warmup=warmup, rev=rev)
     # Baseline: explicit file/dir beats the output dir beats the
     # committed trajectory.  Comparison is soft — warnings, exit 0.
+    import os
+
     baseline = None
+    baseline_file = None
     if args.baseline:
         baseline_path = args.baseline
-        import os
-
         if os.path.isdir(baseline_path):
-            baseline = bench.find_baseline(baseline_path, exclude_rev=rev)
+            baseline, baseline_file = bench.find_baseline_with_path(
+                baseline_path, exclude_rev=rev
+            )
         else:
             try:
                 baseline = bench.load_report(baseline_path)
             except (OSError, ValueError) as exc:
                 print(f"error: cannot read baseline: {exc}", file=sys.stderr)
                 return 2
+            baseline_file = baseline_path
     else:
-        baseline = bench.find_baseline(out_dir, exclude_rev=rev) or bench.find_baseline(
-            BENCH_TRAJECTORY_DIR, exclude_rev=rev
-        )
+        for search_dir in (out_dir, BENCH_TRAJECTORY_DIR):
+            baseline, baseline_file = bench.find_baseline_with_path(
+                search_dir, exclude_rev=rev
+            )
+            if baseline is not None:
+                break
     if baseline is not None:
         report["comparison"] = bench.compare(report, baseline)
     path = bench.write_report(report, out_dir)
     print(bench.format_report(report))
+    if baseline_file is not None:
+        print(f"baseline: {baseline_file}")
+    else:
+        print("baseline: none found (first trajectory point?)")
     print(f"-> {path}")
     return 0
 
@@ -393,9 +405,20 @@ def _run_campaign(args) -> int:
         return 2
     try:
         if args.grid is not None:
-            scenarios = campaigns.expand_grid(
-                campaigns.parse_grid_tokens(args.grid)
-            )
+            axes = campaigns.parse_grid_tokens(args.grid)
+            # Device-only sweeps (e.g. --grid channels=1,2,4) default to
+            # a perf scenario on a pinned workload so the grid runs
+            # without requiring the attack/workload axes to be spelled.
+            defaults = []
+            if "attack" not in axes:
+                axes = {"attack": ["perf"], **axes}
+                defaults.append("attack=perf")
+            if axes["attack"] == ["perf"] and "workload" not in axes:
+                axes["workload"] = ["433.milc"]
+                defaults.append("workload=433.milc")
+            if defaults:
+                print(f"note: defaulting {' '.join(defaults)}")
+            scenarios = campaigns.expand_grid(axes)
         else:
             scenarios = campaigns.builtin_scenarios(args.campaign or "security")
     except ValueError as exc:
@@ -521,7 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", nargs="*", metavar="AXIS=V1,V2",
         help=(
             "grid axes, e.g. attack=aes_side_channel mitigation=abo_only,tprac "
-            "nbo=128,256; unknown axes become per-scenario params"
+            "nbo=128,256 channels=1,2,4; unknown axes become per-scenario "
+            "params; a grid without an attack axis defaults to a perf sweep "
+            "on the 433.milc workload"
         ),
     )
     campaign.add_argument(

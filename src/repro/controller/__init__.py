@@ -5,10 +5,13 @@
 * :mod:`repro.controller.controller` — the event-driven controller
   that ties banks, the ABO protocol, refresh and mitigation policies
   together.
+* :mod:`repro.controller.memory_system` — the N-channel facade that
+  routes requests to per-channel controllers.
 * :mod:`repro.controller.stats` — latency/RFM bookkeeping.
 """
 
 from repro.controller.controller import MemoryController
+from repro.controller.memory_system import MemorySystem
 from repro.controller.request import MemRequest
 from repro.controller.scheduler import FrFcfsScheduler
 from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
@@ -19,5 +22,6 @@ __all__ = [
     "LatencySample",
     "MemRequest",
     "MemoryController",
+    "MemorySystem",
     "RfmRecord",
 ]

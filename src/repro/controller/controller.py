@@ -93,21 +93,23 @@ class MemoryController:
         scheduler_cap: int = 4,
         record_samples: bool = False,
         log_commands: bool = False,
+        channel_id: int = 0,
     ) -> None:
         if page_policy not in ("open", "closed"):
             raise ValueError("page_policy must be 'open' or 'closed'")
         self.engine = engine
         self.config = config.validate()
-        self.channel = Channel(config)
+        self.channel_id = channel_id
+        self.channel = Channel(config, channel_id=channel_id)
         self.mapping = mapping or MopMapping(config.organization)
         self.page_policy = page_policy
         self.enable_abo = enable_abo
         self.stats = ControllerStats(record_samples=record_samples)
         self.scheduler = FrFcfsScheduler(
-            num_banks=config.organization.total_banks, cap=scheduler_cap
+            num_banks=config.organization.banks_per_channel, cap=scheduler_cap
         )
         # Per-bank pipeline state beyond what Bank itself tracks.
-        n = config.organization.total_banks
+        n = config.organization.banks_per_channel
         self._bank_cmd_ready: List[float] = [0.0] * n   # next CAS/ACT slot
         self._last_act_time: List[float] = [-1e18] * n
         self._last_cas_time: List[float] = [-1e18] * n  # for tRTP (RD->PRE)

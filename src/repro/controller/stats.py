@@ -16,7 +16,7 @@ for attacker-observation experiments); RFM records are always kept
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.dram.commands import RfmProvenance
 
@@ -146,3 +146,56 @@ class ControllerStats:
         if n == 0:
             return 0.0
         return self.core_latency_total[core_id] / n
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(cls, parts: Sequence["ControllerStats"]) -> "ControllerStats":
+        """Merge per-channel statistics into one aggregate view.
+
+        Counters sum; per-core and per-provenance dicts merge by key;
+        latency samples and RFM records interleave into global time
+        order (stable within a channel, so equal timestamps keep
+        channel order).  The result is a **snapshot**: it does not
+        track the source objects afterwards.  A single part is
+        returned as-is (the live object), which keeps the
+        single-channel path allocation-free and bit-identical.
+        """
+        parts = list(parts)
+        if not parts:
+            return cls(record_samples=False)
+        if len(parts) == 1:
+            return parts[0]
+        out = cls(record_samples=all(p.record_samples for p in parts))
+        for part in parts:
+            out.requests_served += part.requests_served
+            out.reads += part.reads
+            out.writes += part.writes
+            out.row_hits += part.row_hits
+            out.row_misses += part.row_misses
+            out.row_conflicts += part.row_conflicts
+            out.total_latency += part.total_latency
+            out.refreshes += part.refreshes
+            out.mitigated_row_total += part.mitigated_row_total
+            for core_id, count in part.core_requests.items():
+                out.core_requests[core_id] = (
+                    out.core_requests.get(core_id, 0) + count
+                )
+                out.core_latency_total[core_id] = (
+                    out.core_latency_total.get(core_id, 0.0)
+                    + part.core_latency_total[core_id]
+                )
+            for provenance, count in part.rfm_counts.items():
+                out.rfm_counts[provenance] = (
+                    out.rfm_counts.get(provenance, 0) + count
+                )
+        out.rfm_records = sorted(
+            (r for part in parts for r in part.rfm_records),
+            key=lambda r: r.time,
+        )
+        out.latency_samples = sorted(
+            (s for part in parts for s in part.latency_samples),
+            key=lambda s: s.time,
+        )
+        for sample in out.latency_samples:
+            out._samples_by_core.setdefault(sample.core_id, []).append(sample)
+        return out

@@ -21,8 +21,14 @@ from repro.cpu.cache import CacheHierarchy
 from repro.cpu.trace import TraceCursor
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.controller.controller import MemoryController
+    from typing import Protocol
+
     from repro.core.engine import Engine
+
+    class MemoryTarget(Protocol):
+        """Anything that accepts memory requests (controller or facade)."""
+
+        def enqueue(self, request: MemRequest) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -45,7 +51,7 @@ class TraceCore:
     def __init__(
         self,
         engine: "Engine",
-        controller: "MemoryController",
+        memory: "MemoryTarget",
         cursor: TraceCursor,
         core_id: int,
         params: Optional[CoreParams] = None,
@@ -53,7 +59,11 @@ class TraceCore:
         max_requests: Optional[int] = None,
     ) -> None:
         self.engine = engine
-        self.controller = controller
+        #: request sink: a bare :class:`MemoryController` or the
+        #: multi-channel :class:`~repro.controller.memory_system.MemorySystem`
+        #: facade — the core only calls ``enqueue`` and lets the memory
+        #: side route by physical address.
+        self.memory = memory
         self.cursor = cursor
         self.core_id = core_id
         self.params = params or CoreParams()
@@ -175,7 +185,7 @@ class TraceCore:
                 else None
             ),
         )
-        self.controller.enqueue(request)
+        self.memory.enqueue(request)
         if count_outstanding:
             # Keep fetching ahead of the miss (the ROB check gates this).
             self.engine.schedule(self.engine.now, self._advance)

@@ -1,17 +1,24 @@
-"""Multicore system wiring: cores + caches + one memory controller.
+"""Multicore system wiring: cores + caches + the memory system.
 
-This is the reproduction's ChampSim stand-in.  A :class:`System` builds
-N trace-driven cores sharing one DDR5 channel, runs them to completion
-(or a request budget) and reports per-core IPCs, from which the
-experiments derive weighted speedup and normalized performance.
+This is the reproduction's ChampSim stand-in.  A :class:`System`
+builds N trace-driven cores sharing a :class:`MemorySystem` — one
+memory controller per configured DDR5 channel, with requests routed by
+channel-interleaved physical address — runs them to completion (or a
+request budget) and reports per-core IPCs, from which the experiments
+derive weighted speedup and normalized performance.
+
+With the default single-channel organization the memory system is a
+zero-overhead alias for one controller and results are bit-for-bit
+identical to the historical one-controller wiring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.controller.controller import MemoryController
+from repro.controller.memory_system import MemorySystem
 from repro.core.engine import Engine
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.core import CoreParams, TraceCore
@@ -20,8 +27,21 @@ from repro.dram.config import DramConfig, ddr5_8000b
 
 
 @dataclass
+class ChannelResult:
+    """Per-channel slice of one system run."""
+
+    channel: int
+    requests: int
+    rfms: int
+    row_hit_rate: float
+    mean_latency_ns: float
+    activations: int
+    refreshes: int
+
+
+@dataclass
 class SystemResult:
-    """Outcome of one system run."""
+    """Outcome of one system run (aggregated across channels)."""
 
     ipcs: List[float]
     elapsed_ns: float
@@ -34,6 +54,7 @@ class SystemResult:
     refreshes: int = 0
     reads: int = 0
     writes: int = 0
+    per_channel: List[ChannelResult] = field(default_factory=list)
 
     @property
     def total_ipc(self) -> float:
@@ -41,13 +62,14 @@ class SystemResult:
 
 
 class System:
-    """N cores + one memory controller on a shared engine."""
+    """N cores + a per-channel memory controller fleet on a shared engine."""
 
     def __init__(
         self,
         traces: Sequence[List[TraceRecord]],
         config: Optional[DramConfig] = None,
         policy: Optional[object] = None,
+        policy_factory: Optional[Callable[[], object]] = None,
         core_params: Optional[CoreParams] = None,
         use_caches: bool = False,
         enable_abo: bool = True,
@@ -60,10 +82,11 @@ class System:
             raise ValueError("need at least one trace")
         self.engine = Engine()
         self.config = config or ddr5_8000b()
-        self.controller = MemoryController(
+        self.memory = MemorySystem(
             self.engine,
             self.config,
             policy=policy,
+            policy_factory=policy_factory,
             enable_abo=enable_abo,
             enable_refresh=enable_refresh,
             tref_per_trefi=tref_per_trefi,
@@ -74,7 +97,7 @@ class System:
             caches = CacheHierarchy() if use_caches else None
             core = TraceCore(
                 self.engine,
-                self.controller,
+                self.memory,
                 TraceCursor(trace),
                 core_id=core_id,
                 params=core_params,
@@ -84,6 +107,17 @@ class System:
             core.on_finish = self._core_finished
             self.cores.append(core)
         self._unfinished = len(self.cores)
+
+    @property
+    def controller(self) -> MemoryController:
+        """The channel-0 controller.
+
+        Kept for the large single-channel surface (attacks, energy,
+        bench probes).  Multi-channel callers should aggregate via
+        :attr:`memory` (``memory.stats``, ``memory.controllers``) or
+        the per-channel slices on :class:`SystemResult`.
+        """
+        return self.memory.controllers[0]
 
     def _core_finished(self, core: TraceCore) -> None:
         """Per-core finish hook: stop the engine once the last core is
@@ -118,21 +152,48 @@ class System:
                 if not self.engine.step():
                     break
                 fired += 1
-        stats = self.controller.stats
+        return self._gather_result()
+
+    # ------------------------------------------------------------------
+    def _gather_result(self) -> SystemResult:
+        """Aggregate per-channel controller state into one result.
+
+        Single-channel sums degenerate to the lone controller's values,
+        keeping historical outputs bit-identical.
+        """
+        memory = self.memory
+        merged = memory.stats  # live object at 1 channel, merged snapshot at N
         provenance_counts: Dict[str, int] = {}
-        for record in stats.rfm_records:
+        for record in merged.rfm_records:
             key = record.provenance.value
             provenance_counts[key] = provenance_counts.get(key, 0) + 1
+        per_channel: List[ChannelResult] = []
+        for controller in memory.controllers:
+            stats = controller.stats
+            per_channel.append(
+                ChannelResult(
+                    channel=controller.channel_id,
+                    requests=stats.requests_served,
+                    rfms=len(stats.rfm_records),
+                    row_hit_rate=stats.row_hit_rate,
+                    mean_latency_ns=stats.mean_latency,
+                    activations=sum(
+                        b.stats.activations for b in controller.channel
+                    ),
+                    refreshes=controller.refresh.refresh_count,
+                )
+            )
         return SystemResult(
             ipcs=[core.ipc for core in self.cores],
             elapsed_ns=self.engine.now,
-            dram_requests=stats.requests_served,
-            rfm_total=len(stats.rfm_records),
+            dram_requests=merged.requests_served,
+            rfm_total=len(merged.rfm_records),
             rfm_by_provenance=provenance_counts,
-            row_hit_rate=stats.row_hit_rate,
-            mean_latency_ns=stats.mean_latency,
-            activations=sum(b.stats.activations for b in self.controller.channel),
-            refreshes=self.controller.refresh.refresh_count,
-            reads=stats.reads,
-            writes=stats.writes,
+            row_hit_rate=merged.row_hit_rate,
+            mean_latency_ns=merged.mean_latency,
+            activations=sum(c.activations for c in per_channel),
+            refreshes=memory.refresh_count,
+            reads=merged.reads,
+            writes=merged.writes,
+            per_channel=per_channel,
         )

@@ -10,7 +10,7 @@ by the synthetic workload generators and by the AES victim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, List, Optional
 
 
 @dataclass(frozen=True)

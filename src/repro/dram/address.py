@@ -45,7 +45,14 @@ class DramAddress(NamedTuple):
 
 
 class AddressMapping:
-    """Base class for physical-address decoders."""
+    """Base class for physical-address decoders.
+
+    Both concrete mappings interleave channels at cache-line
+    granularity: the channel bits sit directly above the line offset
+    (below the MOP block / column bits), so consecutive cache lines
+    stripe across all channels.  With ``channels == 1`` the channel
+    field contributes no bits and decode/encode are unchanged.
+    """
 
     def __init__(self, org: DramOrganization) -> None:
         self.org = org
@@ -57,6 +64,15 @@ class AddressMapping:
     def encode(self, addr: DramAddress) -> int:
         """Map a DRAM coordinate back to a byte physical address."""
         raise NotImplementedError
+
+    def channel_of(self, phys_addr: int) -> int:
+        """Channel index alone — the request-routing fast path.
+
+        Channel bits sit directly above the line offset in both
+        mappings, so routing needs one divmod rather than a full
+        decode.
+        """
+        return (phys_addr // self.org.cacheline_bytes) % self.org.channels
 
     # Helpers shared by subclasses ------------------------------------
     def _split(self, value: int, *sizes: int) -> Tuple[int, ...]:
@@ -70,16 +86,17 @@ class AddressMapping:
 
 
 class LinearMapping(AddressMapping):
-    """row : rank : bank_group : bank : column : offset (MSB -> LSB)."""
+    """row : rank : bank_group : bank : column : channel : offset (MSB -> LSB)."""
 
     def decode(self, phys_addr: int) -> DramAddress:
         org = self.org
         line = phys_addr // org.cacheline_bytes
-        column, bank, bank_group, rank, row = self._split(
-            line, org.columns_per_row, org.banks_per_group, org.bank_groups, org.ranks
+        channel, column, bank, bank_group, rank, row = self._split(
+            line, org.channels, org.columns_per_row, org.banks_per_group,
+            org.bank_groups, org.ranks,
         )
         return DramAddress(
-            channel=0,
+            channel=channel,
             rank=rank % org.ranks,
             bank_group=bank_group,
             bank=bank,
@@ -94,19 +111,22 @@ class LinearMapping(AddressMapping):
         line = line * org.bank_groups + addr.bank_group
         line = line * org.banks_per_group + addr.bank
         line = line * org.columns_per_row + addr.column
+        line = line * org.channels + addr.channel
         return line * org.cacheline_bytes
 
 
 class MopMapping(AddressMapping):
     """Minimalist Open Page mapping.
 
-    Consecutive cache lines are grouped into MOP blocks of
-    ``mop_width`` lines that stay in the same row/bank; successive
-    blocks rotate across banks, then ranks, then advance the row.  Bit
+    Consecutive cache lines first stripe across channels, then group
+    into MOP blocks of ``mop_width`` lines that stay in the same
+    row/bank; successive blocks rotate across banks, then ranks, then
+    advance the row.  The channel bits sit **below** the MOP block so
+    every channel receives an equal share of each block's lines.  Bit
     layout (LSB -> MSB)::
 
-        offset : mop_block(column low) : bank : bank_group : rank :
-        column_high : row
+        offset : channel : mop_block(column low) : bank : bank_group :
+        rank : column_high : row
     """
 
     def __init__(self, org: DramOrganization, mop_width: int = 4) -> None:
@@ -124,6 +144,8 @@ class MopMapping(AddressMapping):
         org = self.org
         mop_width = self.mop_width
         line = phys_addr // org.cacheline_bytes
+        channel = line % org.channels
+        line //= org.channels
         col_low = line % mop_width
         line //= mop_width
         bank = line % org.banks_per_group
@@ -136,7 +158,7 @@ class MopMapping(AddressMapping):
         col_high = line % col_blocks
         row = line // col_blocks
         return DramAddress(
-            channel=0,
+            channel=channel,
             rank=rank,
             bank_group=bank_group,
             bank=bank,
@@ -153,6 +175,7 @@ class MopMapping(AddressMapping):
         line = line * org.bank_groups + addr.bank_group
         line = line * org.banks_per_group + addr.bank
         line = line * self.mop_width + col_low
+        line = line * org.channels + addr.channel
         return line * org.cacheline_bytes
 
 

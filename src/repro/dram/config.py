@@ -66,7 +66,14 @@ class DramTiming:
 
 @dataclass(frozen=True)
 class DramOrganization:
-    """Physical organization of the memory system (one channel)."""
+    """Physical organization of the memory system.
+
+    ``channels`` counts independent DDR5 channels, each with its own
+    memory controller, data bus, refresh machinery and PRAC/ABO state
+    (see :class:`repro.controller.memory_system.MemorySystem`).  All
+    remaining fields describe **one** channel; capacity scales with the
+    channel count.
+    """
 
     channels: int = 1
     ranks: int = 4
@@ -79,6 +86,11 @@ class DramOrganization:
     @property
     def banks_per_rank(self) -> int:
         return self.bank_groups * self.banks_per_group
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Banks owned by one channel's controller (rank-major flat index)."""
+        return self.ranks * self.banks_per_rank
 
     @property
     def total_banks(self) -> int:

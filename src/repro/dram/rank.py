@@ -1,9 +1,12 @@
 """Channel/rank aggregation of banks.
 
-The reproduction models a single channel (as in the paper's Table 3).
-The :class:`Channel` owns the flat bank array, the shared data bus and
-the channel-wide blocking window that REF and RFMab commands impose —
-that blocking window *is* the paper's timing channel.
+The :class:`Channel` owns one channel's flat bank array, its shared
+data bus and the channel-wide blocking window that REF and RFMab
+commands impose — that blocking window *is* the paper's timing
+channel.  A multi-channel system instantiates one :class:`Channel`
+(inside one :class:`~repro.controller.controller.MemoryController`)
+per ``DramOrganization.channels``; blocking, refresh and PRAC state
+never cross channels.
 """
 
 from __future__ import annotations
@@ -17,10 +20,12 @@ from repro.dram.config import DramConfig
 class Channel:
     """One DDR5 channel: banks plus channel-global timing state."""
 
-    def __init__(self, config: DramConfig) -> None:
+    def __init__(self, config: DramConfig, channel_id: int = 0) -> None:
         self.config = config
+        self.channel_id = channel_id
         self.banks: List[Bank] = [
-            Bank(config, bank_id) for bank_id in range(config.organization.total_banks)
+            Bank(config, bank_id)
+            for bank_id in range(config.organization.banks_per_channel)
         ]
         self.bus_free_at: float = 0.0      # shared data bus occupancy
         self.blocked_until: float = 0.0    # REF / RFMab channel-wide blocking

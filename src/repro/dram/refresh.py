@@ -15,7 +15,7 @@ mechanisms:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig

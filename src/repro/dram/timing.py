@@ -20,7 +20,7 @@ Checked constraints (per bank unless noted):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.dram.commands import Command, CommandKind

@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.tb_window import tb_window_for_nrh
-from repro.cpu.system import System, SystemResult
+from repro.cpu.system import System
 from repro.dram.config import DramConfig, ddr5_8000b
 from repro.mitigations import (
     AboOnlyPolicy,
@@ -64,30 +64,52 @@ def build_system(
     traces,
     config: Optional[DramConfig] = None,
     max_requests_per_core: Optional[int] = None,
+    channels: int = 1,
 ) -> System:
-    """Instantiate the simulated system for a design point."""
+    """Instantiate the simulated system for a design point.
+
+    ``channels`` > 1 builds the multi-channel memory system with one
+    controller — and one fresh policy instance — per channel; the
+    single-channel default keeps the historical wiring (and outputs)
+    exactly.
+    """
     config = config or ddr5_8000b()
     with_reset = point.design != "tprac_noreset"
     config = config.with_prac(
         nbo=point.nrh, prac_level=point.prac_level, reset_on_refresh=with_reset
     )
+    if channels != 1:
+        config = config.with_organization(channels=channels)
     enable_abo = True
+
+    # The TB-Window search is channel-independent: solve it once and
+    # close over the value instead of re-searching per channel.
+    tb_window = (
+        tb_window_for_nrh(point.nrh, config=config, with_reset=with_reset).tb_window
+        if point.design in ("tprac", "tprac_noreset")
+        else None
+    )
+
+    def make_policy():
+        if point.design == "abo_only":
+            return AboOnlyPolicy()
+        if point.design == "abo_acb":
+            return AcbRfmPolicy(bat=_Acb.bat_for_threshold(point.nrh))
+        if point.design in ("tprac", "tprac_noreset"):
+            return TpracPolicy(tb_window=tb_window)
+        return NoMitigationPolicy()
+
     if point.design == "none":
-        policy = NoMitigationPolicy()
         enable_abo = False
-    elif point.design == "abo_only":
-        policy = AboOnlyPolicy()
-    elif point.design == "abo_acb":
-        policy = AcbRfmPolicy(bat=_Acb.bat_for_threshold(point.nrh))
-    elif point.design in ("tprac", "tprac_noreset"):
-        choice = tb_window_for_nrh(point.nrh, config=config, with_reset=with_reset)
-        policy = TpracPolicy(tb_window=choice.tb_window)
-    else:
+    elif point.design not in ("abo_only", "abo_acb", "tprac", "tprac_noreset"):
         raise ValueError(f"unknown design {point.design!r}")
+    # The factory path covers every channel count: at channels=1 the
+    # memory system calls it exactly once, and the policies above are
+    # deterministic, so single-channel outputs are unchanged.
     return System(
         traces,
         config=config,
-        policy=policy,
+        policy_factory=make_policy,
         enable_abo=enable_abo,
         tref_per_trefi=point.tref_per_trefi,
     )

@@ -9,7 +9,6 @@ activations, observed as a latency spike.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.attacks.side_channel import AesSideChannelAttack, SideChannelResult
 from repro.experiments.registry import ArtifactSpec

@@ -11,7 +11,7 @@ it can reach N_BO — no Alert ever fires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.attacks.probes import bank_address
 from repro.controller.controller import MemoryController

@@ -10,7 +10,7 @@ information and no ABO ever fires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.fig5_key_sweep import Fig5Result
 from repro.experiments import fig5_key_sweep

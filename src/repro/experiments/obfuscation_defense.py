@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.analysis.obfuscation_analysis import ObfuscationLeakage, analyze
 from repro.attacks.covert import ActivityChannel

@@ -16,7 +16,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import List
 from repro.experiments.registry import ArtifactSpec
 
 

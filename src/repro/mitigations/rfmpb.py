@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.dram.commands import Command, CommandKind, RfmProvenance
+from repro.dram.commands import RfmProvenance
 from repro.controller.stats import RfmRecord
 from repro.mitigations.base import MitigationPolicy
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue

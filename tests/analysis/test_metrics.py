@@ -1,6 +1,5 @@
 """Tests for performance metrics helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.analysis.obfuscation_analysis import (
-    ObfuscationLeakage,
-    analyze,
-    sweep_injection_rates,
-)
+from repro.analysis.obfuscation_analysis import analyze, sweep_injection_rates
 
 
 def test_no_injection_is_fully_distinguishable():

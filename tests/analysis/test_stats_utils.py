@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.stats_utils import Summary, across_seeds, compare_designs, summarize
+from repro.analysis.stats_utils import across_seeds, compare_designs, summarize
 
 
 def test_summarize_basics():

@@ -1,6 +1,5 @@
 """End-to-end tests of the PRACLeak covert channels."""
 
-import math
 
 import pytest
 

@@ -9,7 +9,6 @@ from repro.attacks.probes import (
     is_rfm_spike,
 )
 from repro.controller.controller import MemoryController
-from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.dram.commands import RfmProvenance
 from repro.dram.config import ddr5_8000b, small_test_config

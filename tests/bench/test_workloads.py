@@ -10,6 +10,7 @@ def test_registry_names_are_stable():
     assert bench.workload_names() == [
         "perf_multi_core",
         "perf_single_core",
+        "perf_multi_channel",
         "campaign_smoke",
         "scheduler_pick",
     ]

@@ -5,7 +5,6 @@ each) and assert the *semantics* the campaign exists to measure: the
 PRACLeak attacks succeed against ABO-Only and degrade under TPRAC.
 """
 
-import pytest
 
 from repro.campaigns.runners import run_trial
 from repro.campaigns.scenario import Scenario

@@ -79,3 +79,44 @@ def test_label_is_compact_and_distinguishing():
 def test_every_attack_kind_is_a_valid_axis_value():
     for kind in ATTACK_KINDS:
         Scenario(attack=kind, mitigation="tprac", workload="470.lbm").validate()
+
+
+# ----------------------------------------------------------------------
+# channels axis
+# ----------------------------------------------------------------------
+def test_channels_axis_flows_into_dram_config_and_label():
+    scenario = Scenario(attack="perf", workload="433.milc", channels=4)
+    assert scenario.dram_config().organization.channels == 4
+    assert "4ch" in scenario.label
+    rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    assert rebuilt == scenario
+
+
+def test_single_channel_spec_dict_is_hash_backward_compatible():
+    """channels=1 must not appear in to_dict(): persisted campaign
+    results from before the multi-channel axis keep their content-hash
+    identity (and stay resumable)."""
+    scenario = Scenario(attack="selftest", nbo=64)
+    assert "channels" not in scenario.to_dict()
+    assert scenario.channels == 1
+    # and a multi-channel scenario hashes differently
+    perf = Scenario(attack="perf", workload="433.milc", nbo=64)
+    assert (
+        Scenario(
+            attack="perf", workload="433.milc", nbo=64, channels=2
+        ).scenario_id
+        != perf.scenario_id
+    )
+
+
+@pytest.mark.parametrize("bad", [0, -1, 2.5])
+def test_validate_rejects_bad_channel_counts(bad):
+    with pytest.raises(ValueError, match="channels"):
+        Scenario(attack="perf", workload="433.milc", channels=bad).validate()
+
+
+def test_multi_channel_is_perf_only():
+    """Attack harnesses drive one controller; channels>1 elsewhere
+    would mislabel single-channel results as multi-channel."""
+    with pytest.raises(ValueError, match="perf"):
+        Scenario(attack="covert_activity", channels=2).validate()

@@ -48,7 +48,7 @@ def test_campaign_runs_on_a_process_pool(tmp_path):
     result = run_campaign(scenarios, tmp_path, trials=3, jobs=2, seed=0)
     assert set(result.statuses.values()) == {"ok"}
     # Pool and inline execution must agree bit-for-bit (determinism).
-    inline = run_campaign(scenarios, tmp_path / "inline", trials=3, jobs=1)
+    run_campaign(scenarios, tmp_path / "inline", trials=3, jobs=1)
     for scenario in scenarios:
         pooled_doc = load_scenario_result(result.paths[scenario.scenario_id])
         inline_doc = load_scenario_result(

@@ -12,7 +12,6 @@ import pytest
 
 from repro.campaigns.runners import build_policy
 from repro.campaigns.scenario import Scenario
-from repro.controller.controller import MemoryController
 from repro.cpu.system import System
 from repro.mitigations import available
 from repro.workloads.synthetic import homogeneous_traces

@@ -1,6 +1,5 @@
 """Unit tests for controller statistics bookkeeping."""
 
-import pytest
 
 from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
 from repro.dram.commands import RfmProvenance

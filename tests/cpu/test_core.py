@@ -1,6 +1,5 @@
 """Unit tests for the trace-driven core model."""
 
-import pytest
 
 from repro.controller.controller import MemoryController
 from repro.core.engine import Engine

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dram.config import (
-    DramConfig,
     DramOrganization,
     DramTiming,
     PracConfig,

@@ -1,6 +1,5 @@
 """Tests for named device presets and config sensitivity."""
 
-import pytest
 
 from repro.analysis.feinting import feinting_tmax
 from repro.dram.config import PRESETS, ddr5_4800, ddr5_8000b

@@ -1,12 +1,11 @@
 """Tests for the post-hoc timing checker, including on real traces."""
 
-import pytest
 
 from repro.attacks.probes import bank_address
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest
 from repro.core.engine import Engine
-from repro.dram.commands import Command, CommandKind, RfmProvenance
+from repro.dram.commands import Command, CommandKind
 from repro.dram.config import small_test_config
 from repro.dram.timing import TimingChecker
 from repro.mitigations.base import NoMitigationPolicy

@@ -1,6 +1,5 @@
 """Small-scale tests for the remaining performance harnesses."""
 
-import pytest
 
 from repro.experiments import fig11_prac_levels, fig12_tref, fig13_nrh, fig14_reset
 

@@ -1,6 +1,5 @@
 """Tests for the QPRAC-style base policy."""
 
-import pytest
 
 from repro.attacks.probes import bank_address
 from repro.controller.controller import MemoryController

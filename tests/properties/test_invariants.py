@@ -95,7 +95,6 @@ def test_tb_rfm_count_matches_elapsed_windows(window):
 def test_single_entry_queue_never_underestimates(observations):
     """The queue's stored count >= every observation it accepted last."""
     queue = SingleEntryFrequencyQueue()
-    best = 0
     for row, count in observations:
         queue.observe(row, count)
         peeked = queue.peek()

@@ -1,6 +1,5 @@
 """Tests for synthetic trace generation."""
 
-import pytest
 
 from repro.cpu.trace import total_instructions
 from repro.workloads.catalog import get_workload
