@@ -19,6 +19,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
+echo "== lint: no committed bytecode =="
+# Bytecode must never be tracked (.gitignore covers the working tree;
+# this guards the index so a force-add cannot slip through review).
+if git ls-files -- '*.pyc' '*.pyo' '*__pycache__*' | grep .; then
+    echo "error: compiled bytecode is tracked by git (see above)" >&2
+    exit 1
+fi
+
 echo "== tier-1: full test suite =="
 python -m pytest -x -q
 
@@ -41,6 +49,12 @@ chan_dir="$(mktemp -d)"
 cleanup_dirs+=("$chan_dir")
 python -m repro.cli campaign --grid channels=1,2,4 --trials 1 --jobs 2 \
     --out "$chan_dir"
+
+echo "== campaign: scheduler x mapping sweep (registry smoke) =="
+sched_dir="$(mktemp -d)"
+cleanup_dirs+=("$sched_dir")
+python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs \
+    mapping=linear,mop --trials 1 --jobs 2 --out "$sched_dir"
 
 echo "== bench: smoke run vs committed trajectory (soft) =="
 # Single repetition against the newest committed BENCH_<rev>.json; a

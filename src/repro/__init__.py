@@ -6,10 +6,13 @@ for PRAC-Based RowHammer Mitigations" (ISCA 2025).
 Layered architecture (bottom-up):
 
 * :mod:`repro.core` — discrete-event simulation kernel.
+* :mod:`repro.registry` / :mod:`repro.config` — component registries
+  and the declarative :class:`SystemConfig` every system is built from.
 * :mod:`repro.dram` — DDR5 device model with PRAC timings.
 * :mod:`repro.prac` — Alert Back-Off protocol and mitigation queues.
-* :mod:`repro.controller` — per-channel FR-FCFS memory controllers +
-  RFM issuing, behind a multi-channel :class:`MemorySystem` facade.
+* :mod:`repro.controller` — per-channel memory controllers (pluggable
+  request schedulers) + RFM issuing, behind a multi-channel
+  :class:`MemorySystem` facade.
 * :mod:`repro.mitigations` — ABO-Only / ABO+ACB-RFM / TPRAC / §7 variants.
 * :mod:`repro.cpu` — trace-driven cores + cache hierarchy.
 * :mod:`repro.crypto` — AES-128 T-table substrate (the side-channel victim).
@@ -21,6 +24,7 @@ Layered architecture (bottom-up):
 
 __version__ = "1.1.0"
 
+from repro.config import SystemConfig
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b, small_test_config
 from repro.controller.controller import MemoryController
@@ -48,6 +52,7 @@ __all__ = [
     "NoMitigationPolicy",
     "ObfuscationPolicy",
     "PerBankRfmPolicy",
+    "SystemConfig",
     "TpracPolicy",
     "__version__",
     "ddr5_8000b",

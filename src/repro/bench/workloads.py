@@ -20,9 +20,12 @@ Workloads:
   :func:`repro.campaigns.runners.run_trial` (the campaign engine's
   whole code path: scenario validation, policy construction, paired
   baseline/mitigated systems).
-* ``scheduler_pick`` — microbenchmark of ``FrFcfsScheduler.pick`` /
-  ``enqueue`` over a replayed queue mix (row hits, misses, cap
-  resets); reported in picks/sec, not events/sec.
+* ``scheduler_pick`` family — microbenchmark of ``pick`` / ``enqueue``
+  over a replayed queue mix (row hits, misses, cap resets), one pinned
+  workload **per registered scheduler** (``scheduler_pick`` is the
+  historical FR-FCFS point; ``scheduler_pick_<name>`` covers every
+  other entry of :data:`repro.controller.scheduler.SCHEDULERS`);
+  reported in picks/sec, not events/sec.
 """
 
 from __future__ import annotations
@@ -48,13 +51,16 @@ class Measurement:
 
 
 def _system_measurement(cores: int, requests: int, channels: int = 1) -> Measurement:
+    from repro.config import SystemConfig
     from repro.experiments.common import DesignPoint, build_system, homogeneous_traces
 
     traces = homogeneous_traces(
         "433.milc", cores=cores, num_accesses=requests, seed=0
     )
     system = build_system(
-        DesignPoint(design="tprac", nrh=1024), traces, channels=channels
+        DesignPoint(design="tprac", nrh=1024),
+        traces,
+        system=SystemConfig(channels=channels),
     )
     started = time.perf_counter()
     result = system.run()
@@ -119,10 +125,15 @@ def _campaign_smoke() -> Measurement:
     )
 
 
-def _scheduler_pick() -> Measurement:
-    """FR-FCFS pick/enqueue microbenchmark over a pinned queue mix."""
+def _scheduler_pick(scheduler_name: str = "fr_fcfs") -> Measurement:
+    """Pick/enqueue microbenchmark over a pinned queue mix.
+
+    The same replayed mix (row hits, misses, cap/batch resets) is run
+    through whichever registered scheduler ``scheduler_name`` selects,
+    so the per-policy trajectory points are directly comparable.
+    """
     from repro.controller.request import MemRequest
-    from repro.controller.scheduler import FrFcfsScheduler
+    from repro.controller.scheduler import make_scheduler
     from repro.dram.address import DramAddress
     from repro.dram.bank import Bank
     from repro.dram.config import ddr5_8000b
@@ -145,7 +156,7 @@ def _scheduler_pick() -> Measurement:
         for i in range(depth)
     ]
     bank.open_row = 0
-    scheduler = FrFcfsScheduler(num_banks=1)
+    scheduler = make_scheduler(scheduler_name, num_banks=1)
     started = time.perf_counter()
     picks = 0
     for _ in range(rounds):
@@ -202,6 +213,31 @@ WORKLOADS: Dict[str, BenchWorkload] = {
         ),
     )
 }
+
+
+def _register_scheduler_picks() -> None:
+    """One ``scheduler_pick_<name>`` workload per registered scheduler.
+
+    ``fr_fcfs`` keeps the historical ``scheduler_pick`` name (renaming
+    a pinned workload would orphan its trajectory); every other
+    registry entry — including ones future PRs register — gets its own
+    pinned point automatically.
+    """
+    from functools import partial
+
+    from repro.controller.scheduler import SCHEDULERS
+
+    for name in SCHEDULERS.available():
+        if name == "fr_fcfs":
+            continue
+        WORKLOADS[f"scheduler_pick_{name}"] = BenchWorkload(
+            name=f"scheduler_pick_{name}",
+            title=f"{name} scheduler pick/enqueue microbench",
+            run=partial(_scheduler_pick, name),
+        )
+
+
+_register_scheduler_picks()
 
 
 def workload_names() -> List[str]:

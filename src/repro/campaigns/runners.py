@@ -8,7 +8,9 @@ repository's simulators and returns a flat ``{metric: number}`` dict:
   paper's normalized-performance figure of merit.  With the
   ``channels`` axis > 1 the systems run the full multi-channel memory
   model (one controller + policy instance per channel) and the metrics
-  gain per-channel ``requests_chN`` / ``rfms_chN`` breakdowns.
+  gain per-channel ``requests_chN`` / ``rfms_chN`` breakdowns; the
+  ``scheduler`` / ``mapping`` / ``refresh`` axes pick the registered
+  controller components for baseline and mitigated systems alike.
 * ``covert_activity`` / ``covert_count`` — the PRACLeak covert
   channels, run against the named mitigation (the registry policy is
   injected into the channel's controller) with a seeded message and,
@@ -94,11 +96,13 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
         scenario.workload, cores=cores, num_accesses=requests, seed=seed
     )
     config = scenario.dram_config()
+    system_config = scenario.system_config()
     baseline_system = System(
         traces,
         config=config,
         policy_factory=lambda: make_policy("none"),
         enable_abo=False,
+        system=system_config,
     )
     baseline = baseline_system.run()
     # Mitigation state is strictly per-channel: the factory gives every
@@ -113,6 +117,7 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
             scenario, seed=seed + 100_003 * channel_id
         ),
         enable_abo=scenario.mitigation != "none",
+        system=system_config,
     )
     mitigated = mitigated_system.run()
     if system_probe is not None:

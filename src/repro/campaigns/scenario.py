@@ -3,11 +3,14 @@
 A :class:`Scenario` names everything one Monte Carlo trial needs —
 which attacker runs (:mod:`repro.attacks`), which mitigation defends
 (by registry name, :func:`repro.mitigations.get`), which workload mix
-drives the memory system (:mod:`repro.workloads.catalog`), and which
+drives the memory system (:mod:`repro.workloads.catalog`), which
 DRAM device variant hosts it all (:data:`repro.dram.config.PRESETS`
-plus the PRAC knobs ``nbo`` / ``prac_level``).  Free-form ``params``
-carry per-attack tuning (symbol counts, encryption budgets, pool
-sizes).
+plus the PRAC knobs ``nbo`` / ``prac_level``), and how the controller
+itself is assembled — ``channels``, ``scheduler``, ``mapping`` and
+``refresh`` are registry-backed structural axes that project onto a
+:class:`repro.config.SystemConfig` (:meth:`Scenario.system_config`).
+Free-form ``params`` carry per-attack tuning (symbol counts,
+encryption budgets, pool sizes).
 
 Scenarios are plain data: they round-trip through dicts/JSON, cross
 process-pool boundaries by value, and are identified by a stable
@@ -22,6 +25,12 @@ from typing import Any, Dict, Mapping
 
 from repro import mitigations
 from repro.analysis.storage import content_key
+from repro.config import (
+    DEFAULT_MAPPING,
+    DEFAULT_REFRESH,
+    DEFAULT_SCHEDULER,
+    SystemConfig,
+)
 from repro.dram.config import PRESETS, DramConfig
 from repro.workloads.catalog import CATALOG
 
@@ -53,6 +62,9 @@ class Scenario:
     nbo: int = 256
     prac_level: int = 1
     channels: int = 1
+    scheduler: str = DEFAULT_SCHEDULER
+    mapping: str = DEFAULT_MAPPING
+    refresh: str = DEFAULT_REFRESH
     params: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -80,12 +92,17 @@ class Scenario:
             raise ValueError("nbo must be positive")
         if self.prac_level not in (1, 2, 4):
             raise ValueError("prac_level must be 1, 2 or 4")
-        if not isinstance(self.channels, int) or self.channels < 1:
-            raise ValueError("channels must be a positive integer")
-        if self.channels != 1 and self.attack != "perf":
+        # The structural axes delegate to SystemConfig.validate: the
+        # same channels check and registry lookups (whose errors name
+        # the field and list the valid spellings) as every other
+        # construction path.
+        system = self.system_config().validate()
+        if self.attack != "perf" and not system.is_default():
+            changed = sorted(system.to_dict())
             raise ValueError(
-                "channels > 1 is only modeled for perf scenarios; the "
-                "attack harnesses drive a single controller"
+                f"non-default {'/'.join(changed)} is only modeled for "
+                "perf scenarios; the attack harnesses drive a single "
+                "hard-wired controller"
             )
         if not isinstance(self.params, Mapping):
             raise ValueError("params must be a mapping")
@@ -98,9 +115,20 @@ class Scenario:
         config = PRESETS[self.dram].with_prac(
             nbo=self.nbo, prac_level=self.prac_level
         )
-        if self.channels != 1:
-            config = config.with_organization(channels=self.channels)
-        return config
+        # Structural projection (channel count) is owned by SystemConfig
+        # so perf and attack trials can never disagree on the device.
+        return self.system_config().apply_to(config)
+
+    def system_config(self) -> SystemConfig:
+        """The declarative system assembly for this scenario
+        (:class:`repro.config.SystemConfig`): channels + scheduler +
+        mapping + refresh, defaults elsewhere."""
+        return SystemConfig(
+            channels=self.channels,
+            scheduler=self.scheduler,
+            mapping=self.mapping,
+            refresh=self.refresh,
+        )
 
     # ------------------------------------------------------------------
     # Identity & serialization
@@ -108,11 +136,12 @@ class Scenario:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (JSON-able; params copied).
 
-        ``channels`` is emitted only when it differs from the default
-        of 1: single-channel scenarios keep the exact spec dict (and
+        The structural axes (``channels``, ``scheduler``, ``mapping``,
+        ``refresh``) are emitted only when they differ from their
+        defaults: default scenarios keep the exact spec dict (and
         therefore the exact content-hash :attr:`scenario_id`) they had
-        before the multi-channel axis existed, so persisted campaign
-        results stay resumable.
+        before each axis existed, so persisted campaign results stay
+        resumable.
         """
         spec: Dict[str, Any] = {
             "attack": self.attack,
@@ -123,8 +152,9 @@ class Scenario:
             "prac_level": self.prac_level,
             "params": dict(self.params),
         }
-        if self.channels != 1:
-            spec["channels"] = self.channels
+        # Default omission delegates to SystemConfig.to_dict so the
+        # structural defaults live in exactly one place (repro.config).
+        spec.update(self.system_config().to_dict())
         return spec
 
     @classmethod
@@ -156,6 +186,12 @@ class Scenario:
             parts.append(f"lvl{self.prac_level}")
         if self.channels != 1:
             parts.append(f"{self.channels}ch")
+        if self.scheduler != DEFAULT_SCHEDULER:
+            parts.append(self.scheduler)
+        if self.mapping != DEFAULT_MAPPING:
+            parts.append(self.mapping)
+        if self.refresh != DEFAULT_REFRESH:
+            parts.append(self.refresh)
         if self.dram != "ddr5_8000b":
             parts.append(self.dram)
         return "/".join(parts)

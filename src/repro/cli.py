@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli fig7
     python -m repro.cli table2 --nbo 256 512
     python -m repro.cli fig10 --requests 3000 --workloads 433.milc 470.lbm
+    python -m repro.cli fig10 --scheduler fcfs --mapping linear
     python -m repro.cli all
     python -m repro.cli suite --jobs 8 --only fig10 table2
     python -m repro.cli suite --out results/ --full --no-cache
@@ -16,6 +17,7 @@ Usage::
     python -m repro.cli campaign --grid attack=aes_side_channel \\
         mitigation=abo_only,tprac nbo=128,256 --resume
     python -m repro.cli campaign --grid channels=1,2,4 --trials 3
+    python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs mapping=linear,mop
 
 Each artifact subcommand runs the matching harness from
 :mod:`repro.experiments` and prints the regenerated rows/series,
@@ -132,7 +134,30 @@ def _perf_args(args) -> dict:
     return dict(
         workloads=args.workloads or None,
         requests_per_core=args.requests or None,
+        system=_system_config(args),
     )
+
+
+def _system_config(args):
+    """``--scheduler/--mapping/--refresh`` -> SystemConfig (or None).
+
+    None (no flag given) keeps the experiments on the default system —
+    the historically hard-wired FR-FCFS / MOP / periodic assembly.
+    """
+    overrides = {
+        name: value
+        for name, value in (
+            ("scheduler", args.scheduler),
+            ("mapping", args.mapping),
+            ("refresh", args.refresh),
+        )
+        if value is not None
+    }
+    if not overrides:
+        return None
+    from repro.config import SystemConfig
+
+    return SystemConfig(**overrides).validate()
 
 
 def _run_fig10(args) -> str:
@@ -312,6 +337,10 @@ def _run_suite(args) -> int:
     )
     return 1 if errors else 0
 
+
+#: artifact commands whose harnesses accept ``system=`` (the perf
+#: matrix family); the only commands the structural flags apply to.
+PERF_SYSTEM_COMMANDS = {"fig10", "fig11", "fig12", "fig13", "fig14", "table5"}
 
 #: default committed trajectory directory for ``bench`` results
 BENCH_TRAJECTORY_DIR = "benchmarks/trajectory"
@@ -502,6 +531,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workloads", nargs="*", help="workload names (default: balanced subset)"
     )
+    parser.add_argument(
+        "--scheduler", default=None, metavar="NAME",
+        help="request scheduler for the perf artifacts "
+             "(fr_fcfs/fcfs/fr_fcfs_cap; default fr_fcfs)",
+    )
+    parser.add_argument(
+        "--mapping", default=None, metavar="NAME",
+        help="address mapping for the perf artifacts (linear/mop; default mop)",
+    )
+    parser.add_argument(
+        "--refresh", default=None, metavar="NAME",
+        help="refresh policy for the perf artifacts "
+             "(periodic/staggered; default periodic)",
+    )
     shared = parser.add_argument_group("suite/campaign shared options")
     shared.add_argument(
         "--jobs", type=int, default=None,
@@ -544,9 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", nargs="*", metavar="AXIS=V1,V2",
         help=(
             "grid axes, e.g. attack=aes_side_channel mitigation=abo_only,tprac "
-            "nbo=128,256 channels=1,2,4; unknown axes become per-scenario "
-            "params; a grid without an attack axis defaults to a perf sweep "
-            "on the 433.milc workload"
+            "nbo=128,256 channels=1,2,4 scheduler=fr_fcfs,fcfs "
+            "mapping=linear,mop refresh=periodic,staggered; unknown axes "
+            "become per-scenario params; a grid without an attack axis "
+            "defaults to a perf sweep on the 433.milc workload"
         ),
     )
     campaign.add_argument(
@@ -635,6 +679,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             else "only applies to the 'suite', 'campaign' and 'bench' commands"
         )
         print(f"error: {', '.join(rejected)} {scope}", file=sys.stderr)
+        return 2
+    # The structural flags only reach the perf harnesses (which thread
+    # system= through run_perf_matrix/build_system); reject them
+    # anywhere else so they can never be accepted-and-ignored —
+    # campaign sweeps these axes via --grid scheduler=... instead.
+    system_flags = [
+        flag
+        for flag, on in (
+            ("--scheduler", args.scheduler is not None),
+            ("--mapping", args.mapping is not None),
+            ("--refresh", args.refresh is not None),
+        )
+        if on
+    ]
+    if system_flags and args.experiment not in PERF_SYSTEM_COMMANDS | {"all"}:
+        hint = (
+            " (campaign sweeps these via --grid scheduler=... mapping=...)"
+            if args.experiment == "campaign"
+            else ""
+        )
+        print(
+            f"error: {', '.join(system_flags)} only applies to the perf "
+            f"artifacts ({', '.join(sorted(PERF_SYSTEM_COMMANDS))}) and "
+            f"'all'{hint}",
+            file=sys.stderr,
+        )
+        return 2
+    # Validate registry-backed flags up front so a typo yields the
+    # uniform registry error, not a traceback from inside a harness.
+    try:
+        _system_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.experiment == "list":
         for name in sorted(COMMANDS):

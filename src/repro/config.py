@@ -1,0 +1,185 @@
+"""The declarative system configuration: every structural controller
+knob as data.
+
+A :class:`SystemConfig` names the pluggable components one simulated
+memory system is assembled from — how many channels, which request
+scheduler (:data:`repro.controller.scheduler.SCHEDULERS`), which
+physical-address mapping (:data:`repro.dram.address.MAPPINGS`), which
+refresh policy (:data:`repro.dram.refresh.REFRESH_POLICIES`) and which
+page policy — plus per-component parameter dicts.  Everything that
+assembles a system (:class:`repro.cpu.system.System`,
+:class:`repro.controller.memory_system.MemorySystem`,
+:func:`repro.experiments.common.build_system`, the campaign engine,
+the bench workloads, the CLI) takes one of these instead of scattered
+keyword arguments, so a new registered component is immediately
+sweepable everywhere.
+
+Like :class:`repro.campaigns.scenario.Scenario`, a ``SystemConfig`` is
+plain data: it round-trips through dicts/JSON, crosses process-pool
+boundaries by value, and has a stable content hash.  Fields equal to
+their defaults are **omitted** from the canonical dict, so the default
+config serializes to ``{}`` and every pre-existing scenario ID and
+persisted campaign result is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING as _MISSING
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping
+
+#: The field defaults, used for default-omission in :meth:`to_dict`.
+DEFAULT_SCHEDULER = "fr_fcfs"
+DEFAULT_MAPPING = "mop"
+DEFAULT_REFRESH = "periodic"
+DEFAULT_PAGE_POLICY = "open"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Declarative assembly spec for one simulated memory system.
+
+    ``channels`` scales the memory system (one controller per
+    channel); the name fields select registered components and the
+    ``*_params`` mappings carry component-specific knobs (``cap`` /
+    ``batch`` / ``queue_depth`` for schedulers, ``mop_width`` for the
+    MOP mapping).  The default instance reproduces the historical
+    hard-wired system bit-for-bit.
+    """
+
+    channels: int = 1
+    scheduler: str = DEFAULT_SCHEDULER
+    mapping: str = DEFAULT_MAPPING
+    refresh: str = DEFAULT_REFRESH
+    page_policy: str = DEFAULT_PAGE_POLICY
+    scheduler_params: Mapping[str, Any] = field(default_factory=dict)
+    mapping_params: Mapping[str, Any] = field(default_factory=dict)
+    refresh_params: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "SystemConfig":
+        """Raise ValueError on any unknown/inconsistent value.
+
+        Component names are checked against their registries, so the
+        error lists the spellings that would have worked and the field
+        that was wrong.
+        """
+        # Late imports: the registries live next to the components and
+        # the component modules import this one.
+        from repro.controller.scheduler import SCHEDULERS
+        from repro.dram.address import MAPPINGS
+        from repro.dram.refresh import REFRESH_POLICIES
+
+        if not isinstance(self.channels, int) or self.channels < 1:
+            raise ValueError("channels must be a positive integer")
+        SCHEDULERS.get(self.scheduler)
+        MAPPINGS.get(self.mapping)
+        REFRESH_POLICIES.get(self.refresh)
+        if self.page_policy not in ("open", "closed"):
+            raise ValueError(
+                "unknown page policy "
+                f"{self.page_policy!r} (config field 'page_policy'); "
+                "have ['closed', 'open']"
+            )
+        for name in ("scheduler_params", "mapping_params", "refresh_params"):
+            if not isinstance(getattr(self, name), Mapping):
+                raise ValueError(f"{name} must be a mapping")
+        return self
+
+    # ------------------------------------------------------------------
+    # Component construction
+    # ------------------------------------------------------------------
+    def make_mapping(self, org):
+        """Build this config's address mapping for ``org``."""
+        from repro.dram.address import MAPPINGS
+
+        return MAPPINGS.make(self.mapping, org, **dict(self.mapping_params))
+
+    def make_scheduler(self, num_banks: int):
+        """Build this config's request scheduler for one channel."""
+        from repro.controller.scheduler import SCHEDULERS
+
+        return SCHEDULERS.make(
+            self.scheduler, num_banks=num_banks, **dict(self.scheduler_params)
+        )
+
+    def make_refresh(self, engine, channel, config, tref_per_trefi: float = 0.0):
+        """Build this config's refresh scheduler for one channel."""
+        from repro.dram.refresh import REFRESH_POLICIES
+
+        return REFRESH_POLICIES.make(
+            self.refresh,
+            engine,
+            channel,
+            config,
+            tref_per_trefi=tref_per_trefi,
+            **dict(self.refresh_params),
+        )
+
+    def apply_to(self, dram_config):
+        """Project this config onto a device config (channel count).
+
+        Mirrors the historical ``channels=N`` keyword: a non-default
+        ``channels`` overrides the device organization; the default of
+        1 leaves a caller-supplied multi-channel organization alone.
+        """
+        if self.channels != 1 and (
+            self.channels != dram_config.organization.channels
+        ):
+            dram_config = dram_config.with_organization(channels=self.channels)
+        return dram_config
+
+    # ------------------------------------------------------------------
+    # Identity & serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (JSON-able; params copied).
+
+        Fields equal to their defaults are omitted, so the default
+        config is ``{}`` and adding a future axis never moves the hash
+        of configs that do not use it.
+        """
+        spec: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            default = f.default if f.default_factory is _MISSING else f.default_factory()  # type: ignore[misc]
+            if f.name.endswith("_params"):
+                value = dict(value)
+            if value != default:
+                spec[f.name] = value
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "SystemConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys, validates."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown system config keys: {unknown}; have {sorted(known)}"
+            )
+        kwargs = dict(spec)
+        for name in ("scheduler_params", "mapping_params", "refresh_params"):
+            if name in kwargs:
+                kwargs[name] = dict(kwargs[name] or {})
+        return cls(**kwargs).validate()
+
+    @property
+    def content_hash(self) -> str:
+        """Stable content hash of the canonical spec dict."""
+        from repro.analysis.storage import content_key
+
+        return content_key(self.to_dict())[:12]
+
+    def is_default(self) -> bool:
+        """Whether this is the (historically hard-wired) default system."""
+        return not self.to_dict()
+
+    def replace(self, **overrides: Any) -> "SystemConfig":
+        """Copy with the given fields overridden."""
+        return replace(self, **overrides)
+
+
+#: The default system — one channel, FR-FCFS, MOP, periodic refresh,
+#: open page — i.e. exactly the pre-refactor hard-wired assembly.
+DEFAULT_SYSTEM = SystemConfig()

@@ -1,7 +1,9 @@
 """Memory controller: request scheduling, RFM issuing, statistics.
 
 * :mod:`repro.controller.request` — the memory request record.
-* :mod:`repro.controller.scheduler` — FR-FCFS with a row-hit cap.
+* :mod:`repro.controller.scheduler` — pluggable per-bank scheduling
+  policies (FR-FCFS, FCFS, batch-capped FR-FCFS) behind the
+  ``SCHEDULERS`` registry.
 * :mod:`repro.controller.controller` — the event-driven controller
   that ties banks, the ABO protocol, refresh and mitigation policies
   together.
@@ -13,15 +15,27 @@
 from repro.controller.controller import MemoryController
 from repro.controller.memory_system import MemorySystem
 from repro.controller.request import MemRequest
-from repro.controller.scheduler import FrFcfsScheduler
+from repro.controller.scheduler import (
+    SCHEDULERS,
+    BankQueueScheduler,
+    FcfsScheduler,
+    FrFcfsCapScheduler,
+    FrFcfsScheduler,
+    make_scheduler,
+)
 from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
 
 __all__ = [
+    "BankQueueScheduler",
     "ControllerStats",
+    "FcfsScheduler",
+    "FrFcfsCapScheduler",
     "FrFcfsScheduler",
     "LatencySample",
     "MemRequest",
     "MemoryController",
     "MemorySystem",
     "RfmRecord",
+    "SCHEDULERS",
+    "make_scheduler",
 ]

@@ -1,7 +1,9 @@
 """The event-driven DDR5 memory controller.
 
 This module ties the whole device model together: it decodes physical
-addresses, schedules requests with FR-FCFS, walks the ACT/PRE/RD/WR
+addresses, schedules requests with the configured scheduling policy
+(FR-FCFS by default; see :class:`repro.config.SystemConfig`), walks
+the ACT/PRE/RD/WR
 timing state machine per bank, issues refreshes, and — central to the
 paper — issues RFM commands, either reactively (Alert Back-Off),
 proactively on activation counts (ACB-RFM), or on a timer (TPRAC's
@@ -37,15 +39,14 @@ from __future__ import annotations
 from functools import partial
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import DEFAULT_SYSTEM, SystemConfig
 from repro.controller.request import MemRequest
-from repro.controller.scheduler import FrFcfsScheduler
 from repro.controller.stats import ControllerStats, RfmRecord
 from repro.core.engine import Engine
-from repro.dram.address import AddressMapping, MopMapping
+from repro.dram.address import AddressMapping
 from repro.dram.commands import Command, CommandKind, RfmProvenance
 from repro.dram.config import DramConfig
 from repro.dram.rank import Channel
-from repro.dram.refresh import RefreshScheduler
 from repro.prac.abo import AboProtocol
 
 
@@ -62,11 +63,18 @@ class MemoryController:
         A mitigation policy (see :mod:`repro.mitigations`); ``None``
         models PRAC-enabled DRAM that never mitigates (the paper's
         normalization baseline when combined with ``enable_abo=False``).
+    system:
+        The declarative assembly spec (:class:`repro.config.SystemConfig`)
+        naming the request scheduler, address mapping, refresh policy
+        and page policy; defaults to the historical FR-FCFS / MOP /
+        periodic-refresh / open-page system.
     mapping:
-        Address mapping; defaults to Minimalist Open Page.
+        A ready-made address mapping **instance**, overriding the one
+        named by ``system`` (the multi-channel facade passes its shared
+        mapping this way).
     page_policy:
         ``"open"`` leaves rows open after access; ``"closed"``
-        precharges immediately.
+        precharges immediately; ``None`` takes the ``system`` value.
     enable_abo:
         Whether the device asserts Alert at N_BO.
     enable_refresh:
@@ -85,28 +93,32 @@ class MemoryController:
         engine: Engine,
         config: DramConfig,
         policy: Optional[object] = None,
+        system: Optional[SystemConfig] = None,
         mapping: Optional[AddressMapping] = None,
-        page_policy: str = "open",
+        page_policy: Optional[str] = None,
         enable_abo: bool = True,
         enable_refresh: bool = True,
         tref_per_trefi: float = 0.0,
-        scheduler_cap: int = 4,
         record_samples: bool = False,
         log_commands: bool = False,
         channel_id: int = 0,
     ) -> None:
+        system = (system if system is not None else DEFAULT_SYSTEM).validate()
+        if page_policy is None:
+            page_policy = system.page_policy
         if page_policy not in ("open", "closed"):
             raise ValueError("page_policy must be 'open' or 'closed'")
         self.engine = engine
         self.config = config.validate()
+        self.system = system
         self.channel_id = channel_id
         self.channel = Channel(config, channel_id=channel_id)
-        self.mapping = mapping or MopMapping(config.organization)
+        self.mapping = mapping or system.make_mapping(config.organization)
         self.page_policy = page_policy
         self.enable_abo = enable_abo
         self.stats = ControllerStats(record_samples=record_samples)
-        self.scheduler = FrFcfsScheduler(
-            num_banks=config.organization.banks_per_channel, cap=scheduler_cap
+        self.scheduler = system.make_scheduler(
+            config.organization.banks_per_channel
         )
         # Per-bank pipeline state beyond what Bank itself tracks.
         n = config.organization.banks_per_channel
@@ -150,7 +162,7 @@ class MemoryController:
         self._abo_deadline: Optional[float] = None
 
         # Refresh & tREFW -----------------------------------------------
-        self.refresh = RefreshScheduler(
+        self.refresh = system.make_refresh(
             engine, self.channel, config, tref_per_trefi=tref_per_trefi
         )
         self.refresh.on_refw.append(self._on_refw)

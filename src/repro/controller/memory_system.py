@@ -29,11 +29,12 @@ from typing import Callable, Iterator, List, Optional
 
 import inspect
 
+from repro.config import DEFAULT_SYSTEM, SystemConfig
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest
 from repro.controller.stats import ControllerStats
 from repro.core.engine import Engine
-from repro.dram.address import AddressMapping, MopMapping
+from repro.dram.address import AddressMapping
 from repro.dram.bank import Bank
 from repro.dram.config import DramConfig
 
@@ -77,10 +78,12 @@ class MemorySystem:
         enable_refresh: bool = True,
         tref_per_trefi: float = 0.0,
         record_samples: bool = False,
-        page_policy: str = "open",
+        system: Optional[SystemConfig] = None,
+        page_policy: Optional[str] = None,
         mapping: Optional[AddressMapping] = None,
     ) -> None:
-        config = config.validate()
+        system = (system if system is not None else DEFAULT_SYSTEM).validate()
+        config = system.apply_to(config).validate()
         channels = config.organization.channels
         if policy is not None and policy_factory is not None:
             raise ValueError("pass either policy or policy_factory, not both")
@@ -92,6 +95,7 @@ class MemorySystem:
             )
         self.engine = engine
         self.config = config
+        self.system = system
         self.channels = channels
         if policy_factory is None:
             def make_policy(channel_id: int) -> Optional[object]:
@@ -105,7 +109,7 @@ class MemorySystem:
         #: the shared address mapping: controllers decode with it and
         #: the facade routes with its ``channel_of`` — one source of
         #: truth for where the channel bits live.
-        self.mapping = mapping or MopMapping(config.organization)
+        self.mapping = mapping or system.make_mapping(config.organization)
         # Channel order is construction order: each controller arms its
         # refresh timers at construction, so event seq numbers (and
         # with them the whole event schedule) are deterministic.
@@ -114,6 +118,7 @@ class MemorySystem:
                 engine,
                 config,
                 policy=make_policy(channel_id),
+                system=system,
                 mapping=self.mapping,
                 enable_abo=enable_abo,
                 enable_refresh=enable_refresh,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.config import SystemConfig
 from repro.controller.controller import MemoryController
 from repro.controller.memory_system import MemorySystem
 from repro.core.engine import Engine
@@ -77,6 +78,7 @@ class System:
         tref_per_trefi: float = 0.0,
         max_requests_per_core: Optional[int] = None,
         record_samples: bool = False,
+        system: Optional[SystemConfig] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
@@ -91,7 +93,11 @@ class System:
             enable_refresh=enable_refresh,
             tref_per_trefi=tref_per_trefi,
             record_samples=record_samples,
+            system=system,
         )
+        # The memory system may have projected the declarative system
+        # (channel count) onto the device config; adopt its view.
+        self.config = self.memory.config
         self.cores: List[TraceCore] = []
         for core_id, trace in enumerate(traces):
             caches = CacheHierarchy() if use_caches else None

@@ -15,12 +15,24 @@ This package models the memory device side of the reproduction:
   Targeted-Refresh (TREF) slots.
 """
 
-from repro.dram.address import AddressMapping, DramAddress, LinearMapping, MopMapping
+from repro.dram.address import (
+    MAPPINGS,
+    AddressMapping,
+    DramAddress,
+    LinearMapping,
+    MopMapping,
+    make_mapping,
+)
 from repro.dram.bank import Bank
 from repro.dram.commands import Command, CommandKind
 from repro.dram.config import DramConfig, DramOrganization, DramTiming
 from repro.dram.rank import Channel
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.refresh import (
+    REFRESH_POLICIES,
+    RefreshScheduler,
+    StaggeredRefreshScheduler,
+    make_refresh,
+)
 
 __all__ = [
     "AddressMapping",
@@ -33,6 +45,11 @@ __all__ = [
     "DramOrganization",
     "DramTiming",
     "LinearMapping",
+    "MAPPINGS",
     "MopMapping",
+    "REFRESH_POLICIES",
     "RefreshScheduler",
+    "StaggeredRefreshScheduler",
+    "make_mapping",
+    "make_refresh",
 ]

@@ -18,6 +18,11 @@ from __future__ import annotations
 from typing import NamedTuple, Tuple
 
 from repro.dram.config import DramOrganization
+from repro.registry import Registry
+
+#: Address-mapping registry: ``SystemConfig.mapping`` names resolve
+#: here.  Factories are called as ``factory(org, **params)``.
+MAPPINGS = Registry("address mapping", "mapping")
 
 
 class DramAddress(NamedTuple):
@@ -85,6 +90,7 @@ class AddressMapping:
         return tuple(out)
 
 
+@MAPPINGS.register("linear")
 class LinearMapping(AddressMapping):
     """row : rank : bank_group : bank : column : channel : offset (MSB -> LSB)."""
 
@@ -115,6 +121,7 @@ class LinearMapping(AddressMapping):
         return line * org.cacheline_bytes
 
 
+@MAPPINGS.register("mop")
 class MopMapping(AddressMapping):
     """Minimalist Open Page mapping.
 
@@ -179,10 +186,10 @@ class MopMapping(AddressMapping):
         return line * org.cacheline_bytes
 
 
-def make_mapping(name: str, org: DramOrganization) -> AddressMapping:
-    """Factory used by configuration files: ``linear`` or ``mop``."""
-    if name == "linear":
-        return LinearMapping(org)
-    if name == "mop":
-        return MopMapping(org)
-    raise ValueError(f"unknown address mapping {name!r}")
+def make_mapping(name: str, org: DramOrganization, **params) -> AddressMapping:
+    """Instantiate the mapping registered under ``name``.
+
+    Names: see ``MAPPINGS.available()`` (``linear``, ``mop``).
+    ``params`` are mapping-specific knobs (``mop_width``).
+    """
+    return MAPPINGS.make(name, org, **params)

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import geometric_mean
 from repro.analysis.tb_window import tb_window_for_nrh
+from repro.config import SystemConfig
 from repro.cpu.system import System
 from repro.dram.config import DramConfig, ddr5_8000b
 from repro.mitigations import (
@@ -64,13 +65,15 @@ def build_system(
     traces,
     config: Optional[DramConfig] = None,
     max_requests_per_core: Optional[int] = None,
-    channels: int = 1,
+    system: Optional[SystemConfig] = None,
 ) -> System:
     """Instantiate the simulated system for a design point.
 
-    ``channels`` > 1 builds the multi-channel memory system with one
-    controller — and one fresh policy instance — per channel; the
-    single-channel default keeps the historical wiring (and outputs)
+    ``system`` declares the structural knobs — channel count, request
+    scheduler, address mapping, refresh policy
+    (:class:`repro.config.SystemConfig`); the default builds the
+    historical single-channel FR-FCFS/MOP system with one controller —
+    and one fresh policy instance — per channel, keeping outputs
     exactly.
     """
     config = config or ddr5_8000b()
@@ -78,8 +81,8 @@ def build_system(
     config = config.with_prac(
         nbo=point.nrh, prac_level=point.prac_level, reset_on_refresh=with_reset
     )
-    if channels != 1:
-        config = config.with_organization(channels=channels)
+    if system is not None:
+        config = system.apply_to(config)
     enable_abo = True
 
     # The TB-Window search is channel-independent: solve it once and
@@ -112,6 +115,8 @@ def build_system(
         policy_factory=make_policy,
         enable_abo=enable_abo,
         tref_per_trefi=point.tref_per_trefi,
+        max_requests_per_core=max_requests_per_core,
+        system=system,
     )
 
 
@@ -133,11 +138,15 @@ def run_perf_matrix(
     cores: int = 4,
     requests_per_core: Optional[int] = None,
     seed: int = 0,
+    system: Optional[SystemConfig] = None,
 ) -> Dict[str, List[PerfRow]]:
     """Run each workload under the baseline and every design.
 
     Returns design-label -> rows.  Normalization baseline is the
     PRAC-without-ABO system (the paper's Figure 10 baseline).
+    ``system`` selects the structural controller configuration
+    (scheduler / mapping / refresh / channels) for baseline and
+    designs alike, so the normalization stays apples-to-apples.
     """
     workloads = list(workloads or default_workloads())
     requests = requests_per_core or default_requests_per_core()
@@ -145,9 +154,9 @@ def run_perf_matrix(
     for name in workloads:
         traces = homogeneous_traces(name, cores=cores, num_accesses=requests, seed=seed)
         baseline_point = DesignPoint(design="none", nrh=designs[0].nrh)
-        base = build_system(baseline_point, traces).run()
+        base = build_system(baseline_point, traces, system=system).run()
         for point in designs:
-            result = build_system(point, traces).run()
+            result = build_system(point, traces, system=system).run()
             out[point.label()].append(
                 PerfRow(
                     workload=name,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import SystemConfig
 from repro.experiments.common import (
     DesignPoint,
     PerfRow,
@@ -50,6 +51,7 @@ def run(
     tref_rates: Sequence[float] = (0.0, 0.25, 1 / 3, 0.5, 1.0),
     workloads: Optional[Sequence[str]] = None,
     requests_per_core: Optional[int] = None,
+    system: Optional[SystemConfig] = None,
 ) -> Fig12Result:
     """Run the experiment at the configured scale; returns the result object."""
     workloads = workloads or default_workloads(limit=6)
@@ -57,7 +59,10 @@ def run(
     for rate in tref_rates:
         point = DesignPoint(design="tprac", nrh=nrh, tref_per_trefi=rate)
         matrix = run_perf_matrix(
-            [point], workloads=workloads, requests_per_core=requests_per_core
+            [point],
+            workloads=workloads,
+            requests_per_core=requests_per_core,
+            system=system,
         )
         by_rate[rate] = matrix[point.label()]
     return Fig12Result(by_rate=by_rate)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import SystemConfig
 from repro.experiments.common import (
     DesignPoint,
     PerfRow,
@@ -52,6 +53,7 @@ def run(
     workloads: Optional[Sequence[str]] = None,
     requests_per_core: Optional[int] = None,
     tref_per_trefi: float = 0.0,
+    system: Optional[SystemConfig] = None,
 ) -> Fig13Result:
     """Run the experiment at the configured scale; returns the result object."""
     workloads = workloads or default_workloads(limit=6)
@@ -63,7 +65,10 @@ def run(
             DesignPoint(design="tprac", nrh=nrh, tref_per_trefi=tref_per_trefi),
         ]
         by_nrh[nrh] = run_perf_matrix(
-            designs, workloads=workloads, requests_per_core=requests_per_core
+            designs,
+            workloads=workloads,
+            requests_per_core=requests_per_core,
+            system=system,
         )
     return Fig13Result(by_nrh=by_nrh)
 

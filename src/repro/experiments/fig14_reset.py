@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tb_window import tb_window_for_nrh
+from repro.config import SystemConfig
 from repro.experiments.common import (
     DesignPoint,
     PerfRow,
@@ -50,6 +51,7 @@ def run(
     nrh_values: Sequence[int] = (256, 512, 1024),
     workloads: Optional[Sequence[str]] = None,
     requests_per_core: Optional[int] = None,
+    system: Optional[SystemConfig] = None,
 ) -> Fig14Result:
     """Run the experiment at the configured scale; returns the result object."""
     workloads = workloads or default_workloads(limit=4)
@@ -60,7 +62,10 @@ def run(
             design = "tprac" if with_reset else "tprac_noreset"
             point = DesignPoint(design=design, nrh=nrh)
             matrix = run_perf_matrix(
-                [point], workloads=workloads, requests_per_core=requests_per_core
+                [point],
+                workloads=workloads,
+                requests_per_core=requests_per_core,
+                system=system,
             )
             by_point[(nrh, with_reset)] = matrix[point.label()]
             windows[(nrh, with_reset)] = tb_window_for_nrh(

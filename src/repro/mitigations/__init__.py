@@ -23,10 +23,12 @@ from repro.mitigations.tprac import TpracPolicy
 from repro.mitigations.obfuscation import ObfuscationPolicy
 from repro.mitigations.rfmpb import PerBankRfmPolicy
 from repro.mitigations.qprac import QpracPolicy
+from repro.registry import Registry
 
 __all__ = [
     "AboOnlyPolicy",
     "AcbRfmPolicy",
+    "MITIGATIONS",
     "MitigationPolicy",
     "NoMitigationPolicy",
     "ObfuscationPolicy",
@@ -38,34 +40,34 @@ __all__ = [
     "make_policy",
 ]
 
-#: The string -> factory registry.  Everything that addresses a
-#: mitigation by name — the CLI, campaign grids, experiment configs —
-#: goes through this one table, so a new policy registered here is
-#: immediately sweepable everywhere.
-_FACTORIES = {
-    "none": NoMitigationPolicy,
-    "abo_only": AboOnlyPolicy,
-    "abo_acb": AcbRfmPolicy,
-    "tprac": TpracPolicy,
-    "obfuscation": ObfuscationPolicy,
-    "rfmpb": PerBankRfmPolicy,
-    "qprac": QpracPolicy,
-}
+#: The string -> factory registry (:class:`repro.registry.Registry`).
+#: Everything that addresses a mitigation by name — the CLI, campaign
+#: grids, experiment configs — goes through this one table, so a new
+#: policy registered here is immediately sweepable everywhere, and an
+#: unknown name fails with the same error shape as the scheduler /
+#: mapping / refresh registries.
+MITIGATIONS = Registry("mitigation policy", "mitigation")
+for _name, _factory in (
+    ("none", NoMitigationPolicy),
+    ("abo_only", AboOnlyPolicy),
+    ("abo_acb", AcbRfmPolicy),
+    ("tprac", TpracPolicy),
+    ("obfuscation", ObfuscationPolicy),
+    ("rfmpb", PerBankRfmPolicy),
+    ("qprac", QpracPolicy),
+):
+    MITIGATIONS.register(_name, _factory)
+del _name, _factory
 
 
 def available() -> list:
     """Sorted names of every registered mitigation policy."""
-    return sorted(_FACTORIES)
+    return MITIGATIONS.available()
 
 
 def get(name: str):
     """The policy factory (class) registered under ``name``."""
-    try:
-        return _FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown mitigation policy {name!r}; have {available()}"
-        ) from None
+    return MITIGATIONS.get(name)
 
 
 def make_policy(name: str, **kwargs) -> MitigationPolicy:

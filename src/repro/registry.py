@@ -1,0 +1,89 @@
+"""A tiny generic name -> factory registry.
+
+Every axis a scenario or :class:`~repro.config.SystemConfig` can
+address by string — mitigation policies, request schedulers, address
+mappings, refresh policies — goes through one of these registries, so
+
+* ``available()`` is the single source of truth for what a sweep can
+  spell, and
+* an unknown name always fails the same way: a :class:`ValueError`
+  naming the config field that was wrong **and** listing the names
+  that would have worked.
+
+The idiom mirrors (and now backs) ``repro.mitigations.get/available``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Registry:
+    """Name -> factory mapping with uniform lookup errors.
+
+    Parameters
+    ----------
+    kind:
+        Human noun for error messages, e.g. ``"scheduler"``.
+    field:
+        The config/scenario field a bad name came from, e.g.
+        ``"scheduler"`` — registry errors cite it so a failing grid or
+        JSON spec is diagnosable without a traceback dive.
+    """
+
+    def __init__(self, kind: str, field: str) -> None:
+        self.kind = kind
+        self.field = field
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self, name: str, factory: Optional[Callable[..., Any]] = None
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering a taken name raises: silent replacement would
+        let an import-order accident swap a component everywhere.
+        """
+        if factory is None:
+            def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+                self.register(name, fn)
+                return fn
+            return decorator
+        if name in self._factories:
+            raise ValueError(f"{self.kind} {name!r} already registered")
+        self._factories[name] = factory
+        return factory
+
+    # ------------------------------------------------------------------
+    def available(self) -> List[str]:
+        """Sorted names of every registered factory."""
+        return sorted(self._factories)
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory registered under ``name``.
+
+        Raises ``ValueError`` naming the config field and the valid
+        names — the one error shape every registry in the repo shares.
+        """
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r} (config field "
+                f"{self.field!r}); have {self.available()}"
+            ) from None
+
+    def make(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate ``name``'s factory with the given arguments."""
+        return self.get(name)(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._factories)

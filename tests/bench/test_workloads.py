@@ -13,7 +13,26 @@ def test_registry_names_are_stable():
         "perf_multi_channel",
         "campaign_smoke",
         "scheduler_pick",
+        "scheduler_pick_fcfs",
+        "scheduler_pick_fr_fcfs_cap",
     ]
+
+
+def test_every_registered_scheduler_has_a_pick_workload():
+    from repro.controller.scheduler import SCHEDULERS
+
+    for name in SCHEDULERS.available():
+        expected = (
+            "scheduler_pick" if name == "fr_fcfs" else f"scheduler_pick_{name}"
+        )
+        assert expected in WORKLOADS
+
+
+def test_scheduler_pick_variants_measure_picks():
+    for name in ("scheduler_pick_fcfs", "scheduler_pick_fr_fcfs_cap"):
+        measurement = bench.get_workload(name).run()
+        assert measurement.unit == "picks"
+        assert measurement.work_units > 0
 
 
 def test_exactly_one_acceptance_workload_and_it_is_the_perf_shape():

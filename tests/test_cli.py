@@ -54,6 +54,29 @@ def test_unknown_experiment_rejected():
         build_parser().parse_args(["fig99"])
 
 
+def test_fig10_with_system_flags(capsys):
+    code = main([
+        "fig10", "--requests", "400", "--workloads", "433.milc",
+        "--scheduler", "fcfs", "--mapping", "linear",
+    ])
+    assert code == 0
+    assert "GEOMEAN" in capsys.readouterr().out
+
+
+def test_unknown_scheduler_flag_gets_registry_error(capsys):
+    assert main(["fig10", "--scheduler", "round_robin"]) == 2
+    err = capsys.readouterr().err
+    assert "'scheduler'" in err and "fr_fcfs" in err
+
+
+def test_system_flags_rejected_outside_perf_artifacts(capsys):
+    # Anywhere the flag would be accepted-and-ignored must reject it:
+    # suite, campaign (which sweeps via --grid), bench, non-perf figs.
+    for command in ("suite", "campaign", "bench", "fig7"):
+        assert main([command, "--scheduler", "fcfs"]) == 2
+        assert "--scheduler" in capsys.readouterr().err
+
+
 def test_suite_command_runs_selected_artifacts(tmp_path, capsys):
     out_dir = tmp_path / "results"
     code = main([
