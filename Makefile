@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify smoke test suite bench bench-smoke bench-artifacts lint coverage
+.PHONY: verify smoke test suite bench bench-smoke bench-artifacts lint lints typecheck coverage
 
 verify:            ## tier-1 tests + 2-artifact parallel suite run
 	./scripts/verify.sh
@@ -12,8 +12,15 @@ smoke:             ## fast regression net only (collection/registry/runner/CLI)
 test:              ## full tier-1 test suite
 	$(PYTHON) -m pytest -x -q
 
-lint:              ## ruff check (the CI lint gate); needs `pip install ruff`
+lint:              ## ruff + the custom invariant lints (the CI lint gate)
 	ruff check .
+	$(MAKE) lints
+
+lints:             ## project-specific AST lints only (no dependencies)
+	$(PYTHON) -m tools.repro_lints
+
+typecheck:         ## mypy over src/repro (strictness table in pyproject.toml)
+	$(PYTHON) -m mypy
 
 coverage:          ## tier-1 suite under coverage; needs `pip install pytest-cov`
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml

@@ -56,6 +56,18 @@ cleanup_dirs+=("$sched_dir")
 python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs \
     mapping=linear,mop --trials 1 --jobs 2 --out "$sched_dir"
 
+echo "== campaign: sanitized perf scenario (protocol-checker smoke) =="
+# One perf scenario with the DRAM protocol sanitizer attached: a
+# timing violation anywhere in the served command stream would raise
+# ProtocolViolation and fail this leg.
+san_dir="$(mktemp -d)"
+cleanup_dirs+=("$san_dir")
+python -m repro.cli campaign --grid sanitize=true --trials 1 --jobs 2 \
+    --out "$san_dir"
+
+echo "== lints: custom invariant suite =="
+python -m tools.repro_lints
+
 echo "== bench: smoke run vs committed trajectory (soft) =="
 # Single repetition against the newest committed BENCH_<rev>.json; a
 # >20% events/sec drop prints a WARNING but never fails the build.

@@ -16,7 +16,11 @@ the exact constants matter less than their proportions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+    from repro.controller.memory_system import MemorySystem
 
 from repro.dram.config import DramConfig, ddr5_8000b
 
@@ -87,8 +91,8 @@ class EnergyModel:
 
     def __init__(
         self,
-        config: DramConfig = None,
-        params: EnergyParams = None,
+        config: Optional[DramConfig] = None,
+        params: Optional[EnergyParams] = None,
     ) -> None:
         self.config = config or ddr5_8000b()
         self.params = params or EnergyParams()
@@ -125,7 +129,7 @@ class EnergyModel:
             mitigation_pj=mitigations * p.mitigation_acts * p.act_pre_pj,
         )
 
-    def from_controller(self, controller) -> EnergyBreakdown:
+    def from_controller(self, controller: "MemoryController") -> EnergyBreakdown:
         """Energy from a finished :class:`MemoryController` run."""
         stats = controller.stats
         activations = sum(b.stats.activations for b in controller.channel)
@@ -143,7 +147,7 @@ class EnergyModel:
             banks=controller.config.organization.banks_per_channel,
         )
 
-    def from_memory_system(self, memory) -> EnergyBreakdown:
+    def from_memory_system(self, memory: "MemorySystem") -> EnergyBreakdown:
         """Energy across every channel of a finished
         :class:`~repro.controller.memory_system.MemorySystem` run.
 

@@ -17,7 +17,10 @@ Used two ways:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dram.bank import Bank
 
 from repro.dram.rank import Channel
 
@@ -44,7 +47,7 @@ class SafetyMonitor:
         for bank in channel:
             bank.on_activate(self._observe)
 
-    def _observe(self, bank, row: int, count: int) -> None:
+    def _observe(self, bank: "Bank", row: int, count: int) -> None:
         if count > self.peak_count:
             self.peak_count = count
             self.peak_location = (bank.bank_id, row)

@@ -24,7 +24,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.dram.config import DramConfig, ddr5_8000b
 
@@ -54,7 +54,7 @@ def interval_register_bits(config: DramConfig) -> int:
     return math.ceil(math.log2(max_interval_ticks))
 
 
-def storage_overhead_bits(config: DramConfig = None) -> StorageOverhead:
+def storage_overhead_bits(config: Optional[DramConfig] = None) -> StorageOverhead:
     """Total TPRAC storage: one interval register + one queue entry/bank."""
     config = config or ddr5_8000b()
     org = config.organization
@@ -138,7 +138,11 @@ class SummaryIndex:
             if not isinstance(entry, dict) or "experiment" not in entry:
                 continue
             name = entry["experiment"]
-            index.order.append(name)
+            # Tolerate duplicate rows (e.g. from a writer killed between
+            # append and rewrite): last entry wins, and the name enters
+            # the order once so flush() never re-duplicates the row.
+            if name not in index.entries:
+                index.order.append(name)
             index.entries[name] = entry
         return index
 

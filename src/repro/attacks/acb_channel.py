@@ -26,8 +26,7 @@ from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b
-from repro.mitigations.acb_rfm import AcbRfmPolicy
-from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations import make_policy
 
 
 @dataclass
@@ -84,12 +83,12 @@ class AcbRfmChannel:
         """Run the experiment at the configured scale; returns the result object."""
         engine = Engine()
         if self.defense == "acb":
-            policy = AcbRfmPolicy(bat=self.bat)
+            policy = make_policy("abo_acb", bat=self.bat)
         else:
             window = required_tb_window(
                 self.config.with_prac(nbo=1024), 1024, with_reset=True
             )
-            policy = TpracPolicy(tb_window=window)
+            policy = make_policy("tprac", tb_window=window)
         controller = MemoryController(
             engine, self.config, policy=policy, record_samples=False
         )

@@ -23,7 +23,7 @@ from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, small_test_config
-from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations import make_policy
 
 
 @dataclass
@@ -74,7 +74,7 @@ class FeintingAttack:
     def run(self) -> FeintingRunResult:
         """Run the experiment at the configured scale; returns the result object."""
         engine = Engine()
-        policy = TpracPolicy(tb_window=self.tb_window)
+        policy = make_policy("tprac", tb_window=self.tb_window)
         controller = MemoryController(
             engine, self.config, policy=policy,
             enable_refresh=False, record_samples=False,

@@ -33,8 +33,7 @@ from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.crypto.victim import AesVictim, TTableLayout
 from repro.dram.config import DramConfig, ddr5_8000b
-from repro.mitigations.abo_only import AboOnlyPolicy
-from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations import make_policy
 from repro.analysis.tb_window import required_tb_window
 
 
@@ -108,9 +107,9 @@ class AesSideChannelAttack:
     def _build(self) -> MemoryController:
         engine = Engine()
         if self.defense == "tprac":
-            policy = TpracPolicy(tb_window=self.tb_window)
+            policy = make_policy("tprac", tb_window=self.tb_window)
         else:
-            policy = AboOnlyPolicy()
+            policy = make_policy("abo_only")
         return MemoryController(
             engine, self.config, policy=policy, record_samples=False
         )

@@ -31,14 +31,20 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import MemoryController
+    from repro.core.engine import Engine
 
 from repro.campaigns.scenario import NO_WORKLOAD, Scenario
 from repro.mitigations import make_policy
 from repro.mitigations.acb_rfm import AcbRfmPolicy
 from repro.mitigations.base import MitigationPolicy
 
-_TRIAL_KINDS: Dict[str, Callable[[Scenario, int], Dict[str, float]]] = {}
+TrialFn = Callable[[Scenario, int], Dict[str, float]]
+
+_TRIAL_KINDS: Dict[str, TrialFn] = {}
 
 #: Optional observer called with every :class:`~repro.cpu.system.System`
 #: a ``perf`` trial runs (baseline and mitigated, in that order).  The
@@ -47,8 +53,8 @@ _TRIAL_KINDS: Dict[str, Callable[[Scenario, int], Dict[str, float]]] = {}
 system_probe: Optional[Callable[[Any], None]] = None
 
 
-def _kind(name: str):
-    def register(fn):
+def _kind(name: str) -> Callable[[TrialFn], TrialFn]:
+    def register(fn: TrialFn) -> TrialFn:
         _TRIAL_KINDS[name] = fn
         return fn
     return register
@@ -139,14 +145,16 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # Covert channels (optionally with background workload noise)
 # ----------------------------------------------------------------------
-def _covert_noise_setup(scenario: Scenario, seed: int, total_ns: float):
+def _covert_noise_setup(
+    scenario: Scenario, seed: int, total_ns: float
+) -> Optional[Callable[["Engine", "MemoryController"], None]]:
     """A ``run(setup=...)`` hook scheduling workload requests as noise,
     or None when the scenario carries no background workload."""
     accesses = int(scenario.params.get("noise_accesses", 200))
     if scenario.workload == NO_WORKLOAD or accesses <= 0:
         return None
 
-    def setup(engine, controller) -> None:
+    def setup(engine: "Engine", controller: "MemoryController") -> None:
         from repro.controller.request import MemRequest
         from repro.workloads.catalog import get_workload
         from repro.workloads.synthetic import SyntheticWorkload
@@ -171,7 +179,7 @@ def _covert_noise_setup(scenario: Scenario, seed: int, total_ns: float):
     return setup
 
 
-def _covert_metrics(result) -> Dict[str, float]:
+def _covert_metrics(result: Any) -> Dict[str, float]:
     return {
         "error_rate": result.error_rate,
         "bitrate_kbps": result.bitrate_kbps,

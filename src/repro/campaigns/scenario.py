@@ -65,6 +65,7 @@ class Scenario:
     scheduler: str = DEFAULT_SCHEDULER
     mapping: str = DEFAULT_MAPPING
     refresh: str = DEFAULT_REFRESH
+    sanitize: bool = False
     params: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -128,6 +129,7 @@ class Scenario:
             scheduler=self.scheduler,
             mapping=self.mapping,
             refresh=self.refresh,
+            sanitize=self.sanitize,
         )
 
     # ------------------------------------------------------------------
@@ -192,6 +194,8 @@ class Scenario:
             parts.append(self.mapping)
         if self.refresh != DEFAULT_REFRESH:
             parts.append(self.refresh)
+        if self.sanitize:
+            parts.append("sanitize")
         if self.dram != "ddr5_8000b":
             parts.append(self.dram)
         return "/".join(parts)

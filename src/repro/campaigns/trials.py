@@ -66,7 +66,8 @@ def _execute_trial(spec: Dict[str, Any], seed: int) -> Dict[str, Any]:
         return {
             "status": "ok",
             "seed": seed,
-            "elapsed_seconds": round(time.perf_counter() - started, 3),
+            # advisory wall-clock, never part of result identity
+            "elapsed_seconds": round(time.perf_counter() - started, 3),  # repro-lint: allow(float-format-drift)
             "metrics": {k: float(v) for k, v in metrics.items()},
         }
     except Exception as exc:  # isolation boundary; Ctrl-C still propagates

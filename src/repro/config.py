@@ -26,7 +26,15 @@ from __future__ import annotations
 
 from dataclasses import MISSING as _MISSING
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Dict, Mapping
+from typing import TYPE_CHECKING, Any, Dict, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.scheduler import BankQueueScheduler
+    from repro.core.engine import Engine
+    from repro.dram.address import AddressMapping
+    from repro.dram.config import DramConfig, DramOrganization
+    from repro.dram.rank import Channel
+    from repro.dram.refresh import RefreshScheduler
 
 #: The field defaults, used for default-omission in :meth:`to_dict`.
 DEFAULT_SCHEDULER = "fr_fcfs"
@@ -55,6 +63,11 @@ class SystemConfig:
     scheduler_params: Mapping[str, Any] = field(default_factory=dict)
     mapping_params: Mapping[str, Any] = field(default_factory=dict)
     refresh_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Attach the online DRAM protocol sanitizer
+    #: (:class:`repro.dram.sanitizer.ProtocolChecker`) to every
+    #: controller.  Purely observational: results are bit-identical,
+    #: but any protocol violation raises instead of going unnoticed.
+    sanitize: bool = False
 
     # ------------------------------------------------------------------
     def validate(self) -> "SystemConfig":
@@ -84,18 +97,20 @@ class SystemConfig:
         for name in ("scheduler_params", "mapping_params", "refresh_params"):
             if not isinstance(getattr(self, name), Mapping):
                 raise ValueError(f"{name} must be a mapping")
+        if not isinstance(self.sanitize, bool):
+            raise ValueError("sanitize must be a bool")
         return self
 
     # ------------------------------------------------------------------
     # Component construction
     # ------------------------------------------------------------------
-    def make_mapping(self, org):
+    def make_mapping(self, org: "DramOrganization") -> "AddressMapping":
         """Build this config's address mapping for ``org``."""
         from repro.dram.address import MAPPINGS
 
         return MAPPINGS.make(self.mapping, org, **dict(self.mapping_params))
 
-    def make_scheduler(self, num_banks: int):
+    def make_scheduler(self, num_banks: int) -> "BankQueueScheduler":
         """Build this config's request scheduler for one channel."""
         from repro.controller.scheduler import SCHEDULERS
 
@@ -103,7 +118,13 @@ class SystemConfig:
             self.scheduler, num_banks=num_banks, **dict(self.scheduler_params)
         )
 
-    def make_refresh(self, engine, channel, config, tref_per_trefi: float = 0.0):
+    def make_refresh(
+        self,
+        engine: "Engine",
+        channel: "Channel",
+        config: "DramConfig",
+        tref_per_trefi: float = 0.0,
+    ) -> "RefreshScheduler":
         """Build this config's refresh scheduler for one channel."""
         from repro.dram.refresh import REFRESH_POLICIES
 
@@ -116,7 +137,7 @@ class SystemConfig:
             **dict(self.refresh_params),
         )
 
-    def apply_to(self, dram_config):
+    def apply_to(self, dram_config: "DramConfig") -> "DramConfig":
         """Project this config onto a device config (channel count).
 
         Mirrors the historical ``channels=N`` keyword: a non-default

@@ -47,6 +47,7 @@ from repro.dram.address import AddressMapping
 from repro.dram.commands import Command, CommandKind, RfmProvenance
 from repro.dram.config import DramConfig
 from repro.dram.rank import Channel
+from repro.dram.sanitizer import ProtocolChecker
 from repro.prac.abo import AboProtocol
 
 
@@ -182,16 +183,41 @@ class MemoryController:
 
         #: optional command-level trace for post-hoc timing verification
         self.command_log: Optional[List[Command]] = [] if log_commands else None
-        if log_commands:
+        #: optional online protocol sanitizer (SystemConfig(sanitize=True))
+        self.sanitizer: Optional[ProtocolChecker] = (
+            ProtocolChecker(self.config) if system.sanitize else None
+        )
+        # The serve loop's single trace guard: one bound-method load and
+        # one None check per command whether zero, one or both consumers
+        # are attached — the sanitize=False fast path is unchanged.
+        self._trace = (
+            self._log if (log_commands or self.sanitizer is not None) else None
+        )
+        if self._trace is not None:
             self.refresh.on_refresh.append(
                 lambda start: self._log(CommandKind.REF, -1, -1, start)
             )
+        if self.sanitizer is not None and enable_abo:
+            # With ABO disabled alerts are reset on assertion, so the
+            # checker must not arm its Alert deadline either.
+            self.abo.on_alert.append(self.sanitizer.on_alert)
 
-    def _log(self, kind: CommandKind, bank_id: int, row: int, time: float) -> None:
+    def _log(
+        self,
+        kind: CommandKind,
+        bank_id: int,
+        row: int,
+        time: float,
+        provenance: Optional[RfmProvenance] = None,
+    ) -> None:
+        command = Command(
+            kind=kind, bank_id=bank_id, row=row, issue_time=time,
+            provenance=provenance,
+        )
         if self.command_log is not None:
-            self.command_log.append(
-                Command(kind=kind, bank_id=bank_id, row=row, issue_time=time)
-            )
+            self.command_log.append(command)
+        if self.sanitizer is not None:
+            self.sanitizer.observe_command(command)
 
     # ==================================================================
     # Public API
@@ -488,7 +514,7 @@ class MemoryController:
         if v > t:
             t = v
 
-        log = self.command_log
+        trace = self._trace
         open_row = bank.open_row
         if open_row == row:
             was_hit = True
@@ -499,8 +525,8 @@ class MemoryController:
                 # Row conflict: eager precharge (see _earliest_precharge).
                 pre_time = self._earliest_precharge(bank_id, request.arrive_time)
                 bank.precharge(pre_time)
-                if log is not None:
-                    self._log(CommandKind.PRE, bank_id, -1, pre_time)
+                if trace is not None:
+                    trace(CommandKind.PRE, bank_id, -1, pre_time)
                 self.stats.row_conflicts += 1
             else:
                 self.stats.row_misses += 1
@@ -510,13 +536,13 @@ class MemoryController:
             if bank.precharge_done_at > act_time:
                 act_time = bank.precharge_done_at
             bank.activate(row, act_time)
-            if log is not None:
-                self._log(CommandKind.ACT, bank_id, row, act_time)
+            if trace is not None:
+                trace(CommandKind.ACT, bank_id, row, act_time)
             self._last_act_time[bank_id] = act_time
             cas_time = act_time + self._tRCD
         self._last_cas_time[bank_id] = cas_time
-        if log is not None:
-            self._log(
+        if trace is not None:
+            trace(
                 CommandKind.WR if request.is_write else CommandKind.RD,
                 bank_id,
                 row,
@@ -544,6 +570,8 @@ class MemoryController:
             if v > pre_time:
                 pre_time = v
             bank.precharge(pre_time)
+            if trace is not None:
+                trace(CommandKind.PRE, bank_id, -1, pre_time)
 
         engine.schedule(
             data_end,
@@ -575,7 +603,8 @@ class MemoryController:
         for _ in range(count):
             start = max(t, self.channel.blocked_until)
             end = self.channel.block(start, timing.tRFMab)
-            self._log(CommandKind.RFM_AB, -1, -1, start)
+            if self._trace is not None:
+                self._log(CommandKind.RFM_AB, -1, -1, start, provenance)
             mitigated: Dict[int, int] = {}
             if self.policy is not None:
                 mitigated = self.policy.mitigate_on_rfm(self, start, provenance)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import insort
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Any, Deque, List, Optional, Sequence
 
 from repro.controller.request import MemRequest
 from repro.dram.bank import Bank
@@ -220,7 +220,7 @@ class FrFcfsCapScheduler(BankQueueScheduler):
         return self._remove(bank_id, index)
 
 
-def make_scheduler(name: str, num_banks: int, **params) -> BankQueueScheduler:
+def make_scheduler(name: str, num_banks: int, **params: Any) -> BankQueueScheduler:
     """Instantiate the scheduler registered under ``name``.
 
     Names: see ``SCHEDULERS.available()`` (``fr_fcfs``, ``fcfs``,

@@ -27,9 +27,13 @@ Time unit: **nanoseconds** throughout the code base.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 _INF = float("inf")
+
+
+def _noop() -> None:
+    """Replaces a cancelled event's callback, releasing its closure."""
 
 
 class Event:
@@ -66,7 +70,7 @@ class Event:
         if self.cancelled or engine is None:
             return  # already cancelled, already fired, or detached
         self.cancelled = True
-        self.callback = None  # release the closure immediately
+        self.callback = _noop  # release the closure immediately
         engine._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -87,7 +91,7 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list = []  # entries: (time, priority, seq, Event)
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq: int = 0
         self._events_fired: int = 0
         self._live: int = 0

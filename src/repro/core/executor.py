@@ -31,7 +31,7 @@ import concurrent.futures
 import dataclasses
 import os
 import traceback
-from typing import Any, Callable, Dict, Iterable, Iterator, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["to_jsonable", "error_entry", "map_tasks"]
 
@@ -61,7 +61,7 @@ def map_tasks(
     worker: Callable[..., Dict[str, Any]],
     tasks: Iterable[Tuple[Any, Tuple[Any, ...]]],
     *,
-    jobs: int = None,
+    jobs: Optional[int] = None,
 ) -> Iterator[Tuple[Any, Dict[str, Any]]]:
     """Run ``worker(*args)`` for every ``(key, args)`` task.
 

@@ -20,52 +20,54 @@ from repro.cpu.trace import TraceRecord
 PathLike = Union[str, Path]
 
 
+def _write_records(handle: TextIO, records: Iterable[TraceRecord]) -> int:
+    handle.write("# repro trace v1: gap_insts phys_addr_hex R|W\n")
+    count = 0
+    for record in records:
+        kind = "W" if record.is_write else "R"
+        handle.write(f"{record.gap_insts} 0x{record.phys_addr:x} {kind}\n")
+        count += 1
+    return count
+
+
 def dump_trace(records: Iterable[TraceRecord], destination: Union[PathLike, TextIO]) -> int:
     """Write records to a path or file object; returns the line count."""
-    own_handle = not hasattr(destination, "write")
-    handle: TextIO = open(destination, "w") if own_handle else destination
-    count = 0
-    try:
-        handle.write("# repro trace v1: gap_insts phys_addr_hex R|W\n")
-        for record in records:
-            kind = "W" if record.is_write else "R"
-            handle.write(f"{record.gap_insts} 0x{record.phys_addr:x} {kind}\n")
-            count += 1
-    finally:
-        if own_handle:
-            handle.close()
-    return count
+    if not hasattr(destination, "write"):
+        with open(destination, "w") as handle:
+            return _write_records(handle, records)
+    return _write_records(destination, records)
+
+
+def _read_records(handle: TextIO) -> List[TraceRecord]:
+    records: List[TraceRecord] = []
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"line {line_number}: expected 'gap addr [R|W]', got {line!r}"
+            )
+        gap = int(parts[0])
+        addr = int(parts[1], 16) if parts[1].startswith("0x") else int(parts[1])
+        is_write = len(parts) == 3 and parts[2].upper() == "W"
+        if len(parts) == 3 and parts[2].upper() not in ("R", "W"):
+            raise ValueError(
+                f"line {line_number}: access kind must be R or W, got {parts[2]!r}"
+            )
+        records.append(
+            TraceRecord(gap_insts=gap, phys_addr=addr, is_write=is_write)
+        )
+    return records
 
 
 def load_trace(source: Union[PathLike, TextIO]) -> List[TraceRecord]:
     """Read records from a path or file object."""
-    own_handle = not hasattr(source, "read")
-    handle: TextIO = open(source, "r") if own_handle else source
-    records: List[TraceRecord] = []
-    try:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) not in (2, 3):
-                raise ValueError(
-                    f"line {line_number}: expected 'gap addr [R|W]', got {line!r}"
-                )
-            gap = int(parts[0])
-            addr = int(parts[1], 16) if parts[1].startswith("0x") else int(parts[1])
-            is_write = len(parts) == 3 and parts[2].upper() == "W"
-            if len(parts) == 3 and parts[2].upper() not in ("R", "W"):
-                raise ValueError(
-                    f"line {line_number}: access kind must be R or W, got {parts[2]!r}"
-                )
-            records.append(
-                TraceRecord(gap_insts=gap, phys_addr=addr, is_write=is_write)
-            )
-    finally:
-        if own_handle:
-            handle.close()
-    return records
+    if not hasattr(source, "read"):
+        with open(source) as handle:
+            return _read_records(handle)
+    return _read_records(source)
 
 
 def roundtrip(records: List[TraceRecord]) -> List[TraceRecord]:

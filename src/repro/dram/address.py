@@ -15,7 +15,7 @@ Two mappings are provided:
 
 from __future__ import annotations
 
-from typing import NamedTuple, Tuple
+from typing import Any, NamedTuple, Tuple
 
 from repro.dram.config import DramOrganization
 from repro.registry import Registry
@@ -186,7 +186,7 @@ class MopMapping(AddressMapping):
         return line * org.cacheline_bytes
 
 
-def make_mapping(name: str, org: DramOrganization, **params) -> AddressMapping:
+def make_mapping(name: str, org: DramOrganization, **params: Any) -> AddressMapping:
     """Instantiate the mapping registered under ``name``.
 
     Names: see ``MAPPINGS.available()`` (``linear``, ``mop``).

@@ -9,7 +9,7 @@ PRAC-adjusted tRP/tWR.  All times are in nanoseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Any, Dict
 
 
 KB = 1024
@@ -169,15 +169,15 @@ class DramConfig:
         self.prac.validate()
         return self
 
-    def with_prac(self, **overrides) -> "DramConfig":
+    def with_prac(self, **overrides: Any) -> "DramConfig":
         """Return a copy with PRAC parameters overridden."""
         return replace(self, prac=replace(self.prac, **overrides))
 
-    def with_timing(self, **overrides) -> "DramConfig":
+    def with_timing(self, **overrides: Any) -> "DramConfig":
         """Return a copy with timing parameters overridden."""
         return replace(self, timing=replace(self.timing, **overrides))
 
-    def with_organization(self, **overrides) -> "DramConfig":
+    def with_organization(self, **overrides: Any) -> "DramConfig":
         """Return a copy with organization parameters overridden."""
         return replace(self, organization=replace(self.organization, **overrides))
 

@@ -15,7 +15,7 @@ mechanisms:
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Any, Callable, List
 
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig
@@ -146,7 +146,7 @@ def make_refresh(
     channel: Channel,
     config: DramConfig,
     tref_per_trefi: float = 0.0,
-    **params,
+    **params: Any,
 ) -> RefreshScheduler:
     """Instantiate the refresh policy registered under ``name``.
 

@@ -11,12 +11,7 @@ from repro.analysis.tb_window import tb_window_for_nrh
 from repro.config import SystemConfig
 from repro.cpu.system import System
 from repro.dram.config import DramConfig, ddr5_8000b
-from repro.mitigations import (
-    AboOnlyPolicy,
-    AcbRfmPolicy,
-    NoMitigationPolicy,
-    TpracPolicy,
-)
+from repro.mitigations import make_policy as make_mitigation
 from repro.mitigations.acb_rfm import AcbRfmPolicy as _Acb
 from repro.workloads.catalog import CATALOG, workload_names
 from repro.workloads.synthetic import homogeneous_traces
@@ -95,12 +90,12 @@ def build_system(
 
     def make_policy():
         if point.design == "abo_only":
-            return AboOnlyPolicy()
+            return make_mitigation("abo_only")
         if point.design == "abo_acb":
-            return AcbRfmPolicy(bat=_Acb.bat_for_threshold(point.nrh))
+            return make_mitigation("abo_acb", bat=_Acb.bat_for_threshold(point.nrh))
         if point.design in ("tprac", "tprac_noreset"):
-            return TpracPolicy(tb_window=tb_window)
-        return NoMitigationPolicy()
+            return make_mitigation("tprac", tb_window=tb_window)
+        return make_mitigation("none")
 
     if point.design == "none":
         enable_abo = False

@@ -16,7 +16,7 @@ from repro.attacks.probes import LatencyProbe, RowHammerSender, is_rfm_spike
 from repro.controller.controller import MemoryController
 from repro.core.engine import Engine
 from repro.dram.config import DramConfig, ddr5_8000b
-from repro.mitigations.abo_only import AboOnlyPolicy
+from repro.mitigations import make_policy
 from repro.experiments.registry import ArtifactSpec
 
 
@@ -105,7 +105,7 @@ def _one_timeline(
     config = ddr5_8000b().with_prac(nbo=nbo, prac_level=prac_level, abo_act=0)
     engine = Engine()
     controller = MemoryController(
-        engine, config, policy=AboOnlyPolicy(), record_samples=False
+        engine, config, policy=make_policy("abo_only"), record_samples=False
     )
     probe = LatencyProbe(controller, bank=4, mode="same_row", core_id=1)
     probe.start()

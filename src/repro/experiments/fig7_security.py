@@ -15,7 +15,7 @@ TB-Window         with reset  without reset
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.feinting import FeintingResult, tmax_sweep
 from repro.dram.config import DramConfig
@@ -48,7 +48,7 @@ class Fig7Result:
 
 
 def run(
-    config: DramConfig = None,
+    config: Optional[DramConfig] = None,
     tb_windows_trefi: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 2.0, 4.0),
 ) -> Fig7Result:
     """Run the experiment at the configured scale; returns the result object."""

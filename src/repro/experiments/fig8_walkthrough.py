@@ -18,7 +18,7 @@ from repro.controller.controller import MemoryController
 from repro.controller.request import MemRequest
 from repro.core.engine import Engine
 from repro.dram.config import small_test_config
-from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations import make_policy
 from repro.experiments.registry import ArtifactSpec
 
 
@@ -72,7 +72,7 @@ def run(nbo: int = 100, acts_per_window: int = 40, epochs: int = 4) -> Fig8Resul
     )
     window = acts_per_window * chain_ns
     engine = Engine()
-    policy = TpracPolicy(tb_window=window)
+    policy = make_policy("tprac", tb_window=window)
     controller = MemoryController(
         engine, config, policy=policy, enable_refresh=False, record_samples=False
     )

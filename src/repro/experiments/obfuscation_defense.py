@@ -20,9 +20,7 @@ from repro.attacks.probes import LatencyProbe, RowHammerSender, is_rfm_spike
 from repro.controller.controller import MemoryController
 from repro.core.engine import Engine
 from repro.dram.config import ddr5_8000b
-from repro.mitigations.abo_only import AboOnlyPolicy
-from repro.mitigations.obfuscation import ObfuscationPolicy
-from repro.mitigations.tprac import TpracPolicy
+from repro.mitigations import make_policy
 from repro.analysis.tb_window import required_tb_window
 from repro.experiments.registry import ArtifactSpec
 
@@ -95,12 +93,12 @@ def _channel_against(
     config = channel.config
     engine = Engine()
     if defense == "none":
-        policy = AboOnlyPolicy()
+        policy = make_policy("abo_only")
     elif defense == "obfuscation":
-        policy = ObfuscationPolicy(inject_prob=inject_prob, seed=5)
+        policy = make_policy("obfuscation", inject_prob=inject_prob, seed=5)
     elif defense == "tprac":
         tb_window = required_tb_window(config, nbo, with_reset=True)
-        policy = TpracPolicy(tb_window=tb_window)
+        policy = make_policy("tprac", tb_window=tb_window)
     else:
         raise ValueError(defense)
     controller = MemoryController(engine, config, policy=policy, record_samples=False)

@@ -68,7 +68,8 @@ def _payload_from_result(name: str, result: Any, elapsed: float) -> Dict[str, An
     payload = {
         "experiment": name,
         "status": "ok",
-        "elapsed_seconds": round(elapsed, 3),
+        # advisory wall-clock, never part of result identity
+        "elapsed_seconds": round(elapsed, 3),  # repro-lint: allow(float-format-drift)
         "result": _to_jsonable(result),
     }
     if hasattr(result, "format_table"):

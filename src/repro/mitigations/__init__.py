@@ -24,6 +24,7 @@ from repro.mitigations.obfuscation import ObfuscationPolicy
 from repro.mitigations.rfmpb import PerBankRfmPolicy
 from repro.mitigations.qprac import QpracPolicy
 from repro.registry import Registry
+from typing import Any, Callable, List
 
 __all__ = [
     "AboOnlyPolicy",
@@ -60,17 +61,17 @@ for _name, _factory in (
 del _name, _factory
 
 
-def available() -> list:
+def available() -> List[str]:
     """Sorted names of every registered mitigation policy."""
     return MITIGATIONS.available()
 
 
-def get(name: str):
+def get(name: str) -> Callable[..., MitigationPolicy]:
     """The policy factory (class) registered under ``name``."""
     return MITIGATIONS.get(name)
 
 
-def make_policy(name: str, **kwargs) -> MitigationPolicy:
+def make_policy(name: str, **kwargs: Any) -> MitigationPolicy:
     """Instantiate the policy registered under ``name``.
 
     Names: see :func:`available` (``none``, ``abo_only``, ``abo_acb``,

@@ -9,7 +9,7 @@ exploits.  Used as the (insecure) baseline in Figures 10-13.
 
 from __future__ import annotations
 
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import MitigationPolicy, QueueFactory
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
 
 
@@ -18,5 +18,5 @@ class AboOnlyPolicy(MitigationPolicy):
 
     name = "abo_only"
 
-    def __init__(self, queue_factory=SingleEntryFrequencyQueue) -> None:
+    def __init__(self, queue_factory: QueueFactory = SingleEntryFrequencyQueue) -> None:
         super().__init__(queue_factory=queue_factory)

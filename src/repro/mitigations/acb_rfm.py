@@ -10,14 +10,15 @@ from per-row to per-bank granularity (Figure 2(b)).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.dram.commands import RfmProvenance
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import MitigationPolicy, QueueFactory
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import MemoryController
+    from repro.dram.bank import Bank
 
 
 class AcbRfmPolicy(MitigationPolicy):
@@ -28,7 +29,7 @@ class AcbRfmPolicy(MitigationPolicy):
     def __init__(
         self,
         bat: int = 0,
-        queue_factory=SingleEntryFrequencyQueue,
+        queue_factory: QueueFactory = SingleEntryFrequencyQueue,
     ) -> None:
         """``bat=0`` means "use the device config's BAT"."""
         super().__init__(queue_factory=queue_factory)
@@ -42,7 +43,7 @@ class AcbRfmPolicy(MitigationPolicy):
         for bank in controller.channel:
             bank.on_activate(self._check_bat)
 
-    def _check_bat(self, bank, row: int, count: int) -> None:
+    def _check_bat(self, bank: "Bank", row: int, count: int) -> None:
         if self._rfm_outstanding:
             return
         if bank.activations_since_rfm >= self.bat:
@@ -51,7 +52,9 @@ class AcbRfmPolicy(MitigationPolicy):
             assert self.controller is not None
             self.controller.request_rfm(RfmProvenance.ACB)
 
-    def mitigate_on_rfm(self, controller, time, provenance):
+    def mitigate_on_rfm(
+        self, controller: "MemoryController", time: float, provenance: RfmProvenance
+    ) -> Dict[int, int]:
         self._rfm_outstanding = False
         return super().mitigate_on_rfm(controller, time, provenance)
 

@@ -12,7 +12,7 @@ via :meth:`attach` and receives these callbacks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.dram.commands import RfmProvenance
 from repro.prac.mitigation_queue import MitigationQueue, SingleEntryFrequencyQueue
@@ -20,13 +20,17 @@ from repro.prac.mitigation_queue import MitigationQueue, SingleEntryFrequencyQue
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import MemoryController
 
+#: Builds one per-bank mitigation queue; policies take it so tests can
+#: substitute deeper/fifo queues without subclassing.
+QueueFactory = Callable[[], MitigationQueue]
+
 
 class MitigationPolicy:
     """Base class: installs one mitigation queue per bank."""
 
     name = "base"
 
-    def __init__(self, queue_factory=SingleEntryFrequencyQueue) -> None:
+    def __init__(self, queue_factory: QueueFactory = SingleEntryFrequencyQueue) -> None:
         self._queue_factory = queue_factory
         self.queues: List[MitigationQueue] = []
         self.controller: Optional["MemoryController"] = None
@@ -81,5 +85,7 @@ class NoMitigationPolicy(MitigationPolicy):
 
     name = "none"
 
-    def mitigate_on_rfm(self, controller, time, provenance):  # noqa: D102
+    def mitigate_on_rfm(
+        self, controller: "MemoryController", time: float, provenance: RfmProvenance
+    ) -> Dict[int, int]:  # noqa: D102
         return {}

@@ -16,7 +16,7 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.dram.commands import RfmProvenance
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import MitigationPolicy, QueueFactory
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -32,7 +32,7 @@ class ObfuscationPolicy(MitigationPolicy):
         self,
         inject_prob: float = 0.5,
         seed: int = 0,
-        queue_factory=SingleEntryFrequencyQueue,
+        queue_factory: QueueFactory = SingleEntryFrequencyQueue,
     ) -> None:
         super().__init__(queue_factory=queue_factory)
         if not 0.0 <= inject_prob <= 1.0:

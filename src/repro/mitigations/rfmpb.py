@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.dram.commands import RfmProvenance
+from repro.dram.commands import CommandKind, RfmProvenance
 from repro.controller.stats import RfmRecord
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import MitigationPolicy, QueueFactory
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,7 +30,7 @@ class PerBankRfmPolicy(MitigationPolicy):
         self,
         tb_window: Optional[float] = None,
         tb_window_trefi: Optional[float] = None,
-        queue_factory=SingleEntryFrequencyQueue,
+        queue_factory: QueueFactory = SingleEntryFrequencyQueue,
     ) -> None:
         super().__init__(queue_factory=queue_factory)
         if (tb_window is None) == (tb_window_trefi is None):
@@ -63,6 +63,9 @@ class PerBankRfmPolicy(MitigationPolicy):
         self._next_bank = (self._next_bank + 1) % len(controller.channel.banks)
         start = max(controller.engine.now, controller.channel.blocked_until)
         controller.channel.block_bank(bank_id, start, controller.config.timing.tRFMpb)
+        controller._log(
+            CommandKind.RFM_PB, bank_id, -1, start, RfmProvenance.TB
+        )
         # block_bank mutates bank timing state outside the controller's
         # serve/RFM-burst paths: its ready-time cache must be dropped.
         controller._invalidate_ready_cache()

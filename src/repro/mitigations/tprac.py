@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.dram.commands import RfmProvenance
-from repro.mitigations.base import MitigationPolicy
+from repro.mitigations.base import MitigationPolicy, QueueFactory
 from repro.prac.mitigation_queue import SingleEntryFrequencyQueue
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,7 +38,7 @@ class TpracPolicy(MitigationPolicy):
         self,
         tb_window: Optional[float] = None,
         tb_window_trefi: Optional[float] = None,
-        queue_factory=SingleEntryFrequencyQueue,
+        queue_factory: QueueFactory = SingleEntryFrequencyQueue,
         use_rfmpb: bool = False,
     ) -> None:
         """Configure the TB-Window.

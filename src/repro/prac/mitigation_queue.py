@@ -22,7 +22,7 @@ mitigation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 
 class MitigationQueue:
@@ -187,7 +187,7 @@ class FifoMitigationQueue(MitigationQueue):
         return len(self._fifo)
 
 
-def make_queue(name: str, **kwargs) -> MitigationQueue:
+def make_queue(name: str, **kwargs: Any) -> MitigationQueue:
     """Factory: ``single``, ``priority`` or ``fifo``."""
     factories = {
         "single": SingleEntryFrequencyQueue,

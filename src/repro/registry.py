@@ -15,7 +15,9 @@ The idiom mirrors (and now backs) ``repro.mitigations.get/available``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, TypeVar, overload
+
+F = TypeVar("F", bound=Callable[..., Any])
 
 
 class Registry:
@@ -37,6 +39,12 @@ class Registry:
         self._factories: Dict[str, Callable[..., Any]] = {}
 
     # ------------------------------------------------------------------
+    @overload
+    def register(self, name: str) -> Callable[[F], F]: ...
+
+    @overload
+    def register(self, name: str, factory: F) -> F: ...
+
     def register(
         self, name: str, factory: Optional[Callable[..., Any]] = None
     ) -> Callable[..., Any]:
@@ -46,7 +54,7 @@ class Registry:
         let an import-order accident swap a component everywhere.
         """
         if factory is None:
-            def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+            def decorator(fn: F) -> F:
                 self.register(name, fn)
                 return fn
             return decorator

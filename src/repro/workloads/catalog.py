@@ -13,7 +13,7 @@ lowest row locality, mirroring its role as the paper's worst case
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -113,7 +113,7 @@ CATALOG: Dict[str, WorkloadSpec] = {
 }
 
 
-def workload_names(category: str = None, suite: str = None) -> List[str]:
+def workload_names(category: Optional[str] = None, suite: Optional[str] = None) -> List[str]:
     """Names filtered by category (H/M/L) and/or suite."""
     names = []
     for name, spec in CATALOG.items():

@@ -21,3 +21,36 @@ def test_queue_entry_fits_row_address_plus_counter():
     assert 20 <= overhead.queue_bits_per_bank <= 40
     assert overhead.banks == 128
     assert overhead.dram_queue_bytes < 1024
+
+
+# ----------------------------------------------------------------------
+# SummaryIndex persistence regressions
+# ----------------------------------------------------------------------
+def test_summary_index_load_dedupes_duplicate_rows(tmp_path):
+    """A writer killed between append and rewrite can leave duplicate
+    rows on disk; loading must keep one entry (last wins) and flush()
+    must not write the survivor twice."""
+    import json
+
+    from repro.analysis.storage import SummaryIndex
+
+    rows = [
+        {"experiment": "fig10", "status": "ok"},
+        {"experiment": "fig10", "status": "error"},
+        {"experiment": "fig11", "status": "ok"},
+    ]
+    (tmp_path / "summary.json").write_text(json.dumps(rows))
+
+    index = SummaryIndex.load(tmp_path)
+    assert index.order == ["fig10", "fig11"]
+    assert index.entries["fig10"]["status"] == "error"
+
+    index.flush()
+    flushed = json.loads((tmp_path / "summary.json").read_text())
+    assert [row["experiment"] for row in flushed] == ["fig10", "fig11"]
+
+
+def test_storage_overhead_accepts_explicit_none():
+    """``config=None`` (the annotated default) must fall back to the
+    paper device, same as calling with no argument."""
+    assert storage_overhead_bits(None) == storage_overhead_bits()

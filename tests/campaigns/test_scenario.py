@@ -120,3 +120,20 @@ def test_multi_channel_is_perf_only():
     would mislabel single-channel results as multi-channel."""
     with pytest.raises(ValueError, match="perf"):
         Scenario(attack="covert_activity", channels=2).validate()
+
+
+def test_sanitize_axis_projects_and_keeps_hashes_stable():
+    """The sanitize axis flows to SystemConfig, is omitted from the
+    spec dict at its default, and is restricted to perf scenarios like
+    every other non-default structural axis."""
+    scenario = Scenario(attack="perf", workload="433.milc", sanitize=True)
+    assert scenario.system_config().sanitize is True
+    assert "sanitize" in scenario.label
+    rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    assert rebuilt == scenario
+
+    default = Scenario(attack="perf", workload="433.milc")
+    assert "sanitize" not in default.to_dict()
+    assert default.scenario_id != scenario.scenario_id
+    with pytest.raises(ValueError, match="perf"):
+        Scenario(attack="covert_activity", sanitize=True).validate()

@@ -1,0 +1,123 @@
+"""Rule plumbing for the repo's custom AST lint suite.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.
+Rules are pure functions over a parsed module: they receive a
+:class:`Module` (AST + source + repo-relative path) and yield
+:class:`Violation` records.  The runner (``tools.repro_lints.run``)
+parses each file once and dispatches it to every rule whose
+:meth:`Rule.applies_to` accepts the path, so adding a rule is one new
+module under ``tools/repro_lints/rules/`` — no runner changes.
+
+Deliberate exceptions are waived inline with a marker comment on the
+offending line::
+
+    "elapsed_seconds": round(t, 3),  # repro-lint: allow(float-format-drift)
+
+Waivers are per-rule and per-line; the runner drops waived violations
+after the rule ran, so rules never need waiver logic themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Type
+
+#: Inline waiver marker: ``# repro-lint: allow(rule-name)``.
+WAIVER_RE = re.compile(r"#\s*repro-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, formatted ``path:line:col: rule message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file handed to the rules."""
+
+    path: str           # repo-relative, forward slashes
+    source: str
+    tree: ast.Module
+
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` (the waiver/reporting identifier),
+    :attr:`rationale` (one line: why the invariant matters — surfaced
+    by ``--explain``) and implement :meth:`check`.  :attr:`scope`
+    restricts the rule to repo-relative path prefixes; an empty scope
+    means every linted file.
+    """
+
+    name = "base"
+    rationale = ""
+    #: path prefixes (repo-relative, '/'-separated) this rule covers
+    scope: tuple = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope:
+            return True
+        return any(path.startswith(prefix) for prefix in self.scope)
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def violation(
+        self, module: Module, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+
+#: All registered rule classes, in registration order.
+RULES: List[Type[Rule]] = []
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the suite."""
+    if any(existing.name == rule_cls.name for existing in RULES):
+        raise ValueError(f"lint rule {rule_cls.name!r} already registered")
+    RULES.append(rule_cls)
+    return rule_cls
+
+
+def waived(module: Module, violation: Violation) -> bool:
+    """Whether the violation's line carries a matching waiver marker."""
+    lines = module.lines()
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = WAIVER_RE.search(lines[violation.line - 1])
+    return bool(match) and match.group(1) == violation.rule
+
+
+def run_rules(module: Module, rules: Iterable[Rule]) -> List[Violation]:
+    """All non-waived violations from ``rules`` against one module."""
+    out: List[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(module.path):
+            continue
+        for violation in rule.check(module):
+            if not waived(module, violation):
+                out.append(violation)
+    return out

@@ -1,0 +1,13 @@
+"""Rule modules for the repro lint suite.
+
+Importing this package imports every rule module, which registers its
+rules with :data:`tools.repro_lints.base.RULES` via the ``@register``
+decorator.  Adding a rule module = write it + import it here.
+"""
+
+from tools.repro_lints.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    persistence,
+    registry_bypass,
+    slots,
+)
