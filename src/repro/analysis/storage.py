@@ -97,6 +97,28 @@ def atomic_write_json(path: PathLike, payload: Any) -> Path:
     return path
 
 
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (same guarantees as
+    :func:`atomic_write_json`; used for line-oriented formats like the
+    observability JSONL traces)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def content_key(payload: Any) -> str:
     """Deterministic sha256 over a JSON-able payload (cache identity)."""
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

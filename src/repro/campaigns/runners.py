@@ -52,6 +52,13 @@ _TRIAL_KINDS: Dict[str, TrialFn] = {}
 #: (events fired, simulated ns) without altering trial metric payloads.
 system_probe: Optional[Callable[[Any], None]] = None
 
+#: Directory (str path) that perf trials export per-trial telemetry
+#: into when the scenario carries the ``trace``/``metrics`` axes.  Set
+#: by the campaign worker (:func:`repro.campaigns.trials._execute_trial`)
+#: around each trial; a module global because the ``(scenario, seed) ->
+#: metrics`` trial signature is the reproducibility contract.
+telemetry_dir: Optional[str] = None
+
 
 def _kind(name: str) -> Callable[[TrialFn], TrialFn]:
     def register(fn: TrialFn) -> TrialFn:
@@ -129,6 +136,18 @@ def _perf_trial(scenario: Scenario, seed: int) -> Dict[str, float]:
     if system_probe is not None:
         system_probe(baseline_system)
         system_probe(mitigated_system)
+    memory = mitigated_system.memory
+    if telemetry_dir is not None and (
+        memory.recorder is not None or memory.sampler is not None
+    ):
+        from repro.obs.export import export_system_telemetry
+
+        export_system_telemetry(
+            memory,
+            telemetry_dir,
+            stem=f"{scenario.scenario_id}-s{seed}",
+            meta={"scenario": scenario.label, "seed": seed},
+        )
     metrics = {
         "normalized_perf": mitigated.total_ipc / baseline.total_ipc,
         "ipc": mitigated.total_ipc,

@@ -66,6 +66,8 @@ class Scenario:
     mapping: str = DEFAULT_MAPPING
     refresh: str = DEFAULT_REFRESH
     sanitize: bool = False
+    trace: bool = False
+    metrics: bool = False
     params: Mapping[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -130,6 +132,8 @@ class Scenario:
             mapping=self.mapping,
             refresh=self.refresh,
             sanitize=self.sanitize,
+            trace=self.trace,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -196,6 +200,10 @@ class Scenario:
             parts.append(self.refresh)
         if self.sanitize:
             parts.append("sanitize")
+        if self.trace:
+            parts.append("trace")
+        if self.metrics:
+            parts.append("metrics")
         if self.dram != "ddr5_8000b":
             parts.append(self.dram)
         return "/".join(parts)

@@ -31,7 +31,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro import __version__
 from repro.analysis.stats_utils import Welford, bootstrap_ci
@@ -42,10 +42,20 @@ from repro.analysis.storage import (
     content_key,
 )
 from repro.core.executor import error_entry, map_tasks
+from repro.campaigns import runners
 from repro.campaigns.runners import run_trial
 from repro.campaigns.scenario import Scenario
+from repro.obs.heartbeat import HEARTBEAT_FILENAME, HeartbeatWriter
+from repro.obs.log import get_logger
 
 INDEX_FILENAME = "campaign.json"
+
+#: campaign subdirectory receiving per-trial telemetry exports
+OBS_SUBDIR = "obs"
+
+#: ``run_campaign(on_event=...)`` subscriber signature: the renderer
+#: (or any watcher) receives the heartbeat's (event, fields) pairs.
+EventHook = Callable[[str, Dict[str, Any]], None]
 
 
 class CampaignIndex(SummaryIndex):
@@ -58,9 +68,19 @@ class CampaignIndex(SummaryIndex):
 # ----------------------------------------------------------------------
 # Worker (crosses the process-pool boundary; module-level & picklable)
 # ----------------------------------------------------------------------
-def _execute_trial(spec: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """Pool entry point: one seeded trial, exceptions folded to payloads."""
+def _execute_trial(
+    spec: Dict[str, Any], seed: int, obs_dir: Optional[str] = None
+) -> Dict[str, Any]:
+    """Pool entry point: one seeded trial, exceptions folded to payloads.
+
+    ``obs_dir`` (set only for scenarios with telemetry axes on) points
+    the trial kinds' telemetry export at the campaign's ``obs/``
+    subdirectory; it is plumbed through a module global because the
+    trial functions' signature — ``(scenario, seed) -> metrics`` — is
+    the reproducibility contract and telemetry must stay out of it.
+    """
     started = time.perf_counter()
+    runners.telemetry_dir = obs_dir
     try:
         metrics = run_trial(Scenario.from_dict(spec), seed)
         return {
@@ -72,6 +92,8 @@ def _execute_trial(spec: Dict[str, Any], seed: int) -> Dict[str, Any]:
         }
     except Exception as exc:  # isolation boundary; Ctrl-C still propagates
         return {"status": "error", "seed": seed, "error": error_entry(exc)}
+    finally:
+        runners.telemetry_dir = None
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +245,8 @@ def run_campaign(
     jobs: Optional[int] = None,
     seed: int = 0,
     resume: bool = False,
+    on_event: Optional[EventHook] = None,
+    heartbeat: bool = True,
 ) -> CampaignResult:
     """Run ``trials`` seeded Monte Carlo trials for every scenario.
 
@@ -241,6 +265,14 @@ def run_campaign(
     resume:
         Skip scenarios whose persisted document matches the cache key
         and trial count; they are reported as ``"cached"``.
+    on_event:
+        Optional subscriber called with every lifecycle event the
+        heartbeat records — ``(event, fields)`` pairs in completion
+        order (the ``--progress`` renderer plugs in here).
+    heartbeat:
+        Append lifecycle events to ``heartbeat.jsonl`` in the campaign
+        directory (append-only across attempts; see
+        :mod:`repro.obs.heartbeat`).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -249,71 +281,165 @@ def run_campaign(
     # Merge with any existing index so a subset/resumed run never erases
     # the record of previously completed scenarios.
     index = CampaignIndex.load(out_root)
+    log = get_logger()
 
-    runs: Dict[str, ScenarioRun] = {}
-    statuses: Dict[str, str] = {}
-    labels: Dict[str, str] = {}
-    paths: Dict[str, Path] = {}
-    for scenario in scenarios:
-        sid = scenario.scenario_id
-        if sid in runs or sid in statuses:
-            raise ValueError(f"duplicate scenario id {sid} ({scenario.label})")
-        labels[sid] = scenario.label
-        path = out_root / f"scenario-{sid}.json"
-        paths[sid] = path
-        key = _scenario_cache_key(scenario, seed)
-        if resume and _resumable(path, key, trials):
-            statuses[sid] = "cached"
-            index.record(
-                {
-                    "experiment": sid,
-                    "label": scenario.label,
-                    "status": "cached",
-                    "file": path.name,
-                },
-                flush=False,
-            )
-            continue
-        runs[sid] = ScenarioRun(
-            scenario=scenario,
-            path=path,
-            cache_key=key,
-            base_seed=seed,
-            trials_requested=trials,
+    hb_writer = (
+        HeartbeatWriter(out_root / HEARTBEAT_FILENAME) if heartbeat else None
+    )
+
+    def emit(event: str, **fields: Any) -> None:
+        if hb_writer is not None:
+            hb_writer.emit(event, **fields)
+        if on_event is not None:
+            on_event(event, fields)
+
+    try:
+        emit(
+            "campaign.start",
+            scenarios=len(scenarios),
+            trials=trials,
+            resumed=bool(resume),
         )
-    index.flush()
-
-    tasks = [
-        ((sid, t), (run.scenario.to_dict(), seed + t))
-        for sid, run in runs.items()
-        for t in range(trials)
-    ]
-    for (sid, t), payload in map_tasks(_execute_trial, tasks, jobs=jobs):
-        run = runs[sid]
-        payload.setdefault("seed", seed + t)
-        run.trials[t] = payload
-        run.flush()  # atomic: a kill mid-campaign leaves consistent docs
-        if run.complete:
-            statuses[sid] = run.status
-            entry: Dict[str, Any] = {
-                "experiment": sid,
-                "label": run.scenario.label,
-                "status": run.status,
-                "file": run.path.name,
-                "trials_ok": run.ok_count,
-                "trials_error": run.error_count,
-            }
-            if run.error_count:
-                first_error = next(
-                    run.trials[t]["error"]
-                    for t in sorted(run.trials)
-                    if run.trials[t]["status"] == "error"
+        runs: Dict[str, ScenarioRun] = {}
+        statuses: Dict[str, str] = {}
+        labels: Dict[str, str] = {}
+        paths: Dict[str, Path] = {}
+        for scenario in scenarios:
+            sid = scenario.scenario_id
+            if sid in runs or sid in statuses:
+                raise ValueError(f"duplicate scenario id {sid} ({scenario.label})")
+            labels[sid] = scenario.label
+            path = out_root / f"scenario-{sid}.json"
+            paths[sid] = path
+            key = _scenario_cache_key(scenario, seed)
+            if resume and _resumable(path, key, trials):
+                statuses[sid] = "cached"
+                emit(
+                    "scenario.cached",
+                    scenario_id=sid,
+                    label=scenario.label,
+                    trials=trials,
                 )
-                entry["error"] = {
-                    "type": first_error["type"],
-                    "message": first_error["message"],
+                index.record(
+                    {
+                        "experiment": sid,
+                        "label": scenario.label,
+                        "status": "cached",
+                        "file": path.name,
+                    },
+                    flush=False,
+                )
+                continue
+            runs[sid] = ScenarioRun(
+                scenario=scenario,
+                path=path,
+                cache_key=key,
+                base_seed=seed,
+                trials_requested=trials,
+            )
+        index.flush()
+
+        # Per-trial telemetry lands under obs/ for scenarios that carry
+        # the trace/metrics axes; created up front so pool workers only
+        # ever write into an existing directory.
+        obs_dir: Optional[str] = None
+        if any(r.scenario.trace or r.scenario.metrics for r in runs.values()):
+            obs_path = out_root / OBS_SUBDIR
+            obs_path.mkdir(parents=True, exist_ok=True)
+            obs_dir = str(obs_path)
+
+        for sid, run in runs.items():
+            emit("scenario.start", scenario_id=sid, label=run.scenario.label)
+
+        tasks = [
+            (
+                (sid, t),
+                (
+                    run.scenario.to_dict(),
+                    seed + t,
+                    obs_dir
+                    if (run.scenario.trace or run.scenario.metrics)
+                    else None,
+                ),
+            )
+            for sid, run in runs.items()
+            for t in range(trials)
+        ]
+        for (sid, t), payload in map_tasks(_execute_trial, tasks, jobs=jobs):
+            run = runs[sid]
+            payload.setdefault("seed", seed + t)
+            run.trials[t] = payload
+            run.flush()  # atomic: a kill mid-campaign leaves consistent docs
+            emit(
+                "trial.finish",
+                scenario_id=sid,
+                label=run.scenario.label,
+                trial=t,
+                seed=payload.get("seed", seed + t),
+                status=payload.get("status", "?"),
+            )
+            log.debug(
+                "campaign.trial",
+                scenario=run.scenario.label,
+                trial=t,
+                status=payload.get("status", "?"),
+                elapsed=payload.get("elapsed_seconds", 0.0),
+            )
+            if payload.get("status") == "error":
+                error = payload.get("error", {})
+                emit(
+                    "trial.fault",
+                    scenario_id=sid,
+                    seed=payload.get("seed", seed + t),
+                    error_type=error.get("type", "?"),
+                    error=error.get("message", ""),
+                )
+            if run.complete:
+                statuses[sid] = run.status
+                emit(
+                    "scenario.finish",
+                    scenario_id=sid,
+                    label=run.scenario.label,
+                    status=run.status,
+                )
+                log.info(
+                    "campaign.scenario",
+                    scenario=run.scenario.label,
+                    status=run.status,
+                    trials_ok=run.ok_count,
+                    trials_error=run.error_count,
+                )
+                entry: Dict[str, Any] = {
+                    "experiment": sid,
+                    "label": run.scenario.label,
+                    "status": run.status,
+                    "file": run.path.name,
+                    "trials_ok": run.ok_count,
+                    "trials_error": run.error_count,
                 }
-            index.record(entry)
+                if run.error_count:
+                    first_error = next(
+                        run.trials[t]["error"]
+                        for t in sorted(run.trials)
+                        if run.trials[t]["status"] == "error"
+                    )
+                    entry["error"] = {
+                        "type": first_error["type"],
+                        "message": first_error["message"],
+                    }
+                index.record(entry)
+
+        emit(
+            "campaign.finish",
+            scenarios=len(scenarios),
+            cached=sum(1 for s in statuses.values() if s == "cached"),
+            errors=sum(
+                1 for s in statuses.values() if s in ("partial", "error")
+            ),
+        )
+    finally:
+        if hb_writer is not None:
+            hb_writer.close()
 
     return CampaignResult(
         output_dir=out_root,

@@ -18,6 +18,9 @@ Usage::
         mitigation=abo_only,tprac nbo=128,256 --resume
     python -m repro.cli campaign --grid channels=1,2,4 --trials 3
     python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs mapping=linear,mop
+    python -m repro.cli campaign --grid trace=true metrics=true --progress
+    python -m repro.cli obs report results/
+    python -m repro.cli obs export-trace results/obs/trace-abc123-s0.jsonl
 
 Each artifact subcommand runs the matching harness from
 :mod:`repro.experiments` and prints the regenerated rows/series,
@@ -43,6 +46,15 @@ against the most recent baseline::
     python -m repro.cli bench                 # full: 5 reps + warmup
     python -m repro.cli bench --smoke         # 1 rep, CI-friendly
     python -m repro.cli bench --only perf_multi_core --reps 9
+    python -m repro.cli bench --strict        # fail on acceptance regression
+
+``obs`` reads back the telemetry a campaign collected (see
+:mod:`repro.obs`): ``obs report <campaign-dir>`` summarizes the index,
+heartbeat stream and per-trial traces/metrics; ``obs export-trace``
+converts a JSONL trace into Chrome ``trace_event`` JSON for Perfetto.
+
+``--verbose``/``--quiet`` adjust the structured logger level for any
+command (key=value lines on stderr; results stay on stdout).
 """
 
 from __future__ import annotations
@@ -419,6 +431,25 @@ def _run_bench(args) -> int:
     else:
         print("baseline: none found (first trajectory point?)")
     print(f"-> {path}")
+    # --strict turns the soft acceptance-workload warning into a hard
+    # failure; other workloads stay advisory (they are noise-prone
+    # microbenches) and a missing baseline still passes (first point).
+    if args.strict and baseline is not None:
+        comparison = report["comparison"]
+        regressed = [
+            name
+            for name, ratio in comparison["ratios"].items()
+            if report["workloads"].get(name, {}).get("acceptance")
+            and ratio < 1.0 - bench.REGRESSION_THRESHOLD
+        ]
+        if regressed:
+            print(
+                f"error: acceptance workload regression beyond "
+                f"{bench.REGRESSION_THRESHOLD:.0%} vs baseline rev "
+                f"{comparison.get('baseline_rev')}: {', '.join(regressed)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -472,6 +503,11 @@ def _run_campaign(args) -> int:
 
     started = time.time()
     trials = args.trials if args.trials is not None else 3
+    on_event = None
+    if args.progress:
+        from repro.obs.progress import CampaignProgressRenderer
+
+        on_event = CampaignProgressRenderer().on_event
     try:
         result = campaigns.run_campaign(
             scenarios,
@@ -480,6 +516,7 @@ def _run_campaign(args) -> int:
             jobs=args.jobs,
             seed=args.seed or 0,
             resume=args.resume,
+            on_event=on_event,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -507,6 +544,51 @@ def _run_campaign(args) -> int:
     return 1 if result.had_errors else 0
 
 
+def _run_obs(args) -> int:
+    """``obs`` subcommand: campaign telemetry reports + trace export."""
+    from repro.obs import report as obs_report
+
+    tokens = list(args.obs_args)
+    if not tokens:
+        print(
+            "error: obs needs a subcommand: report [campaign-dir] | "
+            "export-trace TRACE.jsonl [--out FILE]",
+            file=sys.stderr,
+        )
+        return 2
+    sub, rest = tokens[0], tokens[1:]
+    if sub == "report":
+        if len(rest) > 1:
+            print("error: obs report takes at most one campaign directory",
+                  file=sys.stderr)
+            return 2
+        directory = rest[0] if rest else (args.out or "results")
+        try:
+            print(obs_report.campaign_report(directory))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    if sub == "export-trace":
+        if len(rest) != 1:
+            print("error: obs export-trace takes exactly one trace JSONL path",
+                  file=sys.stderr)
+            return 2
+        try:
+            out = obs_report.export_trace(rest[0], out=args.out)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"-> {out}")
+        return 0
+    print(
+        f"error: unknown obs subcommand {sub!r}; expected "
+        "'report' or 'export-trace'",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -515,12 +597,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "bench", "campaign", "list", "suite"],
+        choices=sorted(COMMANDS)
+        + ["all", "bench", "campaign", "list", "obs", "suite"],
         help=(
             "which artifact to regenerate ('suite' for the parallel runner, "
             "'campaign' for declarative scenario sweeps, 'bench' for the "
-            "kernel performance harness)"
+            "kernel performance harness, 'obs' for telemetry reports)"
         ),
+    )
+    parser.add_argument(
+        "obs_args", nargs="*", metavar="OBS_ARG",
+        help=(
+            "'obs' subcommand and operands: report [campaign-dir] | "
+            "export-trace TRACE.jsonl"
+        ),
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", action="store_true",
+        help="debug-level structured logs on stderr (any command)",
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true",
+        help="suppress structured logs below warning (any command)",
     )
     parser.add_argument(
         "--nbo", type=int, nargs="*", help="Back-Off threshold(s) where applicable"
@@ -611,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip scenarios whose persisted results match their "
              "content-hash cache key and trial count",
     )
+    campaign.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr driven by campaign heartbeat "
+             "events (scenarios/trials done, faults)",
+    )
     bench_group = parser.add_argument_group("bench options")
     bench_group.add_argument(
         "--smoke", action="store_true",
@@ -633,12 +737,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="BENCH json file or trajectory directory to compare against "
              "(default: newest report in the output/trajectory directory)",
     )
+    bench_group.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when the acceptance workload regresses beyond "
+             "the threshold vs baseline (other workloads stay advisory)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.verbose or args.quiet:
+        from repro.obs.log import set_verbosity
+
+        set_verbosity("debug" if args.verbose else "quiet")
+    if args.obs_args and args.experiment != "obs":
+        print(
+            f"error: trailing arguments {args.obs_args} only apply to 'obs'",
+            file=sys.stderr,
+        )
+        return 2
     flags_used = {
         "--jobs": args.jobs is not None,
         "--only": bool(args.only),
@@ -657,26 +776,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--warmup": args.warmup is not None,
         "--rev": args.rev is not None,
         "--baseline": args.baseline is not None,
+        "--progress": args.progress,
+        "--strict": args.strict,
     }
     allowed = {
         "suite": {"--jobs", "--only", "--out", "--list", "--no-cache",
                   "--force", "--full"},
         "campaign": {"--jobs", "--only", "--out", "--list", "--grid",
-                     "--campaign", "--trials", "--seed", "--resume"},
+                     "--campaign", "--trials", "--seed", "--resume",
+                     "--progress"},
         "bench": {"--only", "--out", "--list", "--smoke", "--reps",
-                  "--warmup", "--rev", "--baseline"},
+                  "--warmup", "--rev", "--baseline", "--strict"},
+        "obs": {"--out"},
     }.get(args.experiment, set())
     rejected = [
         flag for flag, on in flags_used.items() if on and flag not in allowed
     ]
     if rejected:
-        applies = "'suite'/'campaign'/'bench'" if not allowed else (
+        applies = "'suite'/'campaign'/'bench'/'obs'" if not allowed else (
             f"'{args.experiment}'"
         )
         scope = (
             f"not applicable to {applies}"
             if allowed
-            else "only applies to the 'suite', 'campaign' and 'bench' commands"
+            else "only applies to the 'suite', 'campaign', 'bench' "
+                 "and 'obs' commands"
         )
         print(f"error: {', '.join(rejected)} {scope}", file=sys.stderr)
         return 2
@@ -723,6 +847,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "obs":
+        return _run_obs(args)
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()

@@ -68,6 +68,19 @@ class SystemConfig:
     #: controller.  Purely observational: results are bit-identical,
     #: but any protocol violation raises instead of going unnoticed.
     sanitize: bool = False
+    #: Attach the structured trace recorder
+    #: (:class:`repro.obs.trace.TraceRecorder`): the served command
+    #: stream, REF/RFM windows, PRAC counter updates and ABO alert
+    #: lifecycles become typed events exportable as JSONL / Chrome
+    #: trace_event.  Observational like ``sanitize``: results are
+    #: bit-identical, the off path is untouched.
+    trace: bool = False
+    #: Attach the metrics registry + periodic time-series sampler
+    #: (:mod:`repro.obs.metrics` / :mod:`repro.obs.sampler`): windowed
+    #: queue-depth / row-hit-rate / bus-occupancy / alert-rate series
+    #: over sim-time intervals.  Simulation results are unchanged (the
+    #: sampler only reads state); the off path does no telemetry work.
+    metrics: bool = False
 
     # ------------------------------------------------------------------
     def validate(self) -> "SystemConfig":
@@ -97,8 +110,9 @@ class SystemConfig:
         for name in ("scheduler_params", "mapping_params", "refresh_params"):
             if not isinstance(getattr(self, name), Mapping):
                 raise ValueError(f"{name} must be a mapping")
-        if not isinstance(self.sanitize, bool):
-            raise ValueError("sanitize must be a bool")
+        for name in ("sanitize", "trace", "metrics"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"{name} must be a bool")
         return self
 
     # ------------------------------------------------------------------

@@ -48,6 +48,9 @@ from repro.dram.commands import Command, CommandKind, RfmProvenance
 from repro.dram.config import DramConfig
 from repro.dram.rank import Channel
 from repro.dram.sanitizer import ProtocolChecker
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.prac.abo import AboProtocol
 
 
@@ -87,6 +90,14 @@ class MemoryController:
         default: the aggregate counters in :class:`ControllerStats`
         cover the performance experiments, and attacker-observation
         harnesses opt in explicitly.
+    recorder:
+        A ready-made :class:`~repro.obs.trace.TraceRecorder` instance,
+        overriding the one ``system.trace`` would create (the
+        multi-channel facade passes its shared recorder this way).
+    metrics:
+        A ready-made :class:`~repro.obs.metrics.MetricsRegistry`,
+        overriding the one ``system.metrics`` would create (shared
+        across channels by the facade).
     """
 
     def __init__(
@@ -103,6 +114,8 @@ class MemoryController:
         record_samples: bool = False,
         log_commands: bool = False,
         channel_id: int = 0,
+        recorder: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         system = (system if system is not None else DEFAULT_SYSTEM).validate()
         if page_policy is None:
@@ -187,11 +200,22 @@ class MemoryController:
         self.sanitizer: Optional[ProtocolChecker] = (
             ProtocolChecker(self.config) if system.sanitize else None
         )
+        #: optional structured trace recorder (SystemConfig(trace=True));
+        #: the multi-channel facade passes one shared instance.
+        if recorder is None and system.trace:
+            recorder = TraceRecorder(self.config)
+        self.recorder: Optional[TraceRecorder] = recorder
         # The serve loop's single trace guard: one bound-method load and
-        # one None check per command whether zero, one or both consumers
-        # are attached — the sanitize=False fast path is unchanged.
+        # one None check per command whether zero, one or more consumers
+        # are attached — the telemetry-off fast path is unchanged.
         self._trace = (
-            self._log if (log_commands or self.sanitizer is not None) else None
+            self._log
+            if (
+                log_commands
+                or self.sanitizer is not None
+                or recorder is not None
+            )
+            else None
         )
         if self._trace is not None:
             self.refresh.on_refresh.append(
@@ -201,6 +225,23 @@ class MemoryController:
             # With ABO disabled alerts are reset on assertion, so the
             # checker must not arm its Alert deadline either.
             self.abo.on_alert.append(self.sanitizer.on_alert)
+        if recorder is not None:
+            self._register_trace_hooks(recorder)
+
+        # Metrics registry ----------------------------------------------
+        if metrics is None and system.metrics:
+            metrics = MetricsRegistry()
+        #: counters/gauges/histograms registry; the no-op singleton when
+        #: metrics are off, so handles are always safe to bump.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else NULL_REGISTRY
+        )
+        self._rfm_counters = {
+            p: self.metrics.counter(f"rfm.{p.value}") for p in RfmProvenance
+        }
+        self._mitigated_rows_counter = self.metrics.counter("mitigation.rows")
+        if self.metrics.enabled:
+            self._bind_metrics(self.metrics)
 
     def _log(
         self,
@@ -218,6 +259,62 @@ class MemoryController:
             self.command_log.append(command)
         if self.sanitizer is not None:
             self.sanitizer.observe_command(command)
+        if self.recorder is not None:
+            self.recorder.observe_command(command, self.channel_id)
+
+    def _register_trace_hooks(self, recorder: TraceRecorder) -> None:
+        """Record lifecycle events as typed trace records.
+
+        Served commands flow through :meth:`_log`; everything else —
+        ABO alert assertion/clearing, tREFW counter resets, TREF slots
+        and per-ACT PRAC counter values — is hooked here.  Only called
+        when a recorder is attached, so the trace-off path registers no
+        callbacks.
+        """
+        channel_id = self.channel_id
+        self.abo.on_alert.append(
+            lambda time, bank_id, row: recorder.record(
+                obs_trace.ALERT, time, channel=channel_id, bank=bank_id, row=row
+            )
+        )
+        self.abo.on_mitigated.append(
+            lambda time: recorder.record(
+                obs_trace.ALERT_DONE, time, channel=channel_id
+            )
+        )
+        self.refresh.on_refw.append(
+            lambda time: recorder.record(
+                obs_trace.PRAC_RESET, time, channel=channel_id
+            )
+        )
+        self.refresh.on_tref.append(
+            lambda time: recorder.record(
+                obs_trace.TREF_SLOT, time, channel=channel_id
+            )
+        )
+        engine = self.engine
+        for bank in self.channel:
+            bank.on_activate(
+                lambda b, row, count: recorder.record(
+                    obs_trace.PRAC_COUNTER,
+                    engine.now,
+                    channel=channel_id,
+                    bank=b.bank_id,
+                    row=row,
+                    detail={"count": count},
+                )
+            )
+
+    def _bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Attach counting hooks for an enabled registry."""
+        alerts = metrics.counter("abo.alerts")
+        self.abo.on_alert.append(
+            lambda time, bank_id, row: alerts.inc()
+        )
+        self.refresh.bind_metrics(metrics)
+        bind = getattr(self.policy, "bind_metrics", None)
+        if bind is not None:
+            bind(metrics)
 
     # ==================================================================
     # Public API
@@ -584,7 +681,13 @@ class MemoryController:
         now = self.engine.now
         stats = self.stats
         stats.record_completion(
-            now, now - request.arrive_time, request.core_id, bank_id, row, was_hit
+            now,
+            now - request.arrive_time,
+            request.core_id,
+            bank_id,
+            row,
+            was_hit,
+            request.is_write,
         )
         if request.is_write:
             stats.writes += 1
@@ -616,6 +719,8 @@ class MemoryController:
                 )
             )
             self.channel.rfm_count += 1
+            self._rfm_counters[provenance].inc()
+            self._mitigated_rows_counter.inc(len(mitigated))
             t = end
         for bank in self.channel:
             bank.activations_since_rfm = 0

@@ -37,6 +37,9 @@ from repro.core.engine import Engine
 from repro.dram.address import AddressMapping
 from repro.dram.bank import Bank
 from repro.dram.config import DramConfig
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.trace import TraceRecorder
 
 
 def _accepts_channel_id(factory: Callable) -> bool:
@@ -110,6 +113,15 @@ class MemorySystem:
         #: the facade routes with its ``channel_of`` — one source of
         #: truth for where the channel bits live.
         self.mapping = mapping or system.make_mapping(config.organization)
+        #: shared telemetry (SystemConfig(trace=True) / metrics=True):
+        #: one trace recorder and one metrics registry span all
+        #: channels, so exported artifacts show the whole system.
+        self.recorder: Optional[TraceRecorder] = (
+            TraceRecorder(config) if system.trace else None
+        )
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if system.metrics else NULL_REGISTRY
+        )
         # Channel order is construction order: each controller arms its
         # refresh timers at construction, so event seq numbers (and
         # with them the whole event schedule) are deterministic.
@@ -126,9 +138,17 @@ class MemorySystem:
                 record_samples=record_samples,
                 page_policy=page_policy,
                 channel_id=channel_id,
+                recorder=self.recorder,
+                metrics=self.metrics if self.metrics.enabled else None,
             )
             for channel_id in range(channels)
         ]
+        #: periodic time-series sampler; armed only with metrics on, so
+        #: the metrics-off event schedule is untouched.
+        self.sampler: Optional[TimeSeriesSampler] = None
+        if system.metrics:
+            self.sampler = TimeSeriesSampler(self)
+            self.sampler.start()
         if channels == 1:
             # Zero-overhead single-channel path: enqueue IS the bound
             # method of the only controller.

@@ -15,10 +15,22 @@ for attacker-observation experiments); RFM records are always kept
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.dram.commands import RfmProvenance
+
+#: Upper bucket bounds (ns) of the always-on read-latency histogram.
+#: Spans the model's timing range: sub-tRC row hits (~20-60 ns) up to
+#: multi-RFM/refresh queueing tails (a REFab stalls 410 ns, an ABO
+#: burst up to 4x350 ns, and queueing compounds into the microseconds).
+#: Values above the last edge land in one overflow bucket whose
+#: percentile estimate clamps to that edge.
+LATENCY_BUCKET_BOUNDS = (
+    20.0, 40.0, 60.0, 80.0, 100.0, 150.0, 200.0, 300.0, 400.0, 600.0,
+    800.0, 1200.0, 1600.0, 2400.0, 3200.0, 4800.0, 6400.0, 9600.0,
+)
 
 
 @dataclass
@@ -68,6 +80,17 @@ class ControllerStats:
     #: per-core sample index, maintained only when ``record_samples``
     _samples_by_core: Dict[int, List[LatencySample]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # The always-on read-latency histogram lives in plain (non-field)
+        # attributes: dataclass fields would enter dataclasses.asdict /
+        # to_jsonable output and change persisted artifact bytes.  One
+        # bisect per read keeps p50/p95/p99 available without the
+        # default-off record_samples sample list.
+        self.read_latency_bucket_counts: List[int] = (
+            [0] * (len(LATENCY_BUCKET_BOUNDS) + 1)
+        )
+        self.read_latency_max: float = 0.0
+
     # ------------------------------------------------------------------
     def record_completion(
         self,
@@ -77,14 +100,23 @@ class ControllerStats:
         bank_id: int,
         row: int,
         was_hit: bool,
+        is_write: bool = False,
     ) -> None:
         """Account one completed request from scalars (hot path).
 
         Builds a :class:`LatencySample` only when sample recording is
-        enabled; the default path touches counters alone.
+        enabled; the default path touches counters alone.  Read
+        latencies (``is_write=False``) additionally land in the
+        fixed-bucket histogram behind the percentile accessors.
         """
         self.requests_served += 1
         self.total_latency += latency
+        if not is_write:
+            self.read_latency_bucket_counts[
+                bisect_left(LATENCY_BUCKET_BOUNDS, latency)
+            ] += 1
+            if latency > self.read_latency_max:
+                self.read_latency_max = latency
         if was_hit:
             self.row_hits += 1
         core_requests = self.core_requests
@@ -148,6 +180,30 @@ class ControllerStats:
         return self.core_latency_total[core_id] / n
 
     # ------------------------------------------------------------------
+    def read_latency_percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) of read latency, in ns.
+
+        Linear interpolation inside the always-on fixed-bucket
+        histogram (:data:`LATENCY_BUCKET_BOUNDS`); the overflow bucket
+        clamps to the last edge (see :attr:`read_latency_max` for the
+        true tail).  Available on every run — unlike the sample-based
+        path, which needs the default-off ``record_samples``.
+        """
+        from repro.obs.metrics import percentile_from_buckets
+
+        return percentile_from_buckets(
+            LATENCY_BUCKET_BOUNDS, self.read_latency_bucket_counts, q
+        )
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """``{"p50", "p95", "p99"}`` read-latency estimates in ns."""
+        return {
+            "p50": self.read_latency_percentile(0.50),
+            "p95": self.read_latency_percentile(0.95),
+            "p99": self.read_latency_percentile(0.99),
+        }
+
+    # ------------------------------------------------------------------
     @classmethod
     def merged(cls, parts: Sequence["ControllerStats"]) -> "ControllerStats":
         """Merge per-channel statistics into one aggregate view.
@@ -188,6 +244,10 @@ class ControllerStats:
                 out.rfm_counts[provenance] = (
                     out.rfm_counts.get(provenance, 0) + count
                 )
+            for index, count in enumerate(part.read_latency_bucket_counts):
+                out.read_latency_bucket_counts[index] += count
+            if part.read_latency_max > out.read_latency_max:
+                out.read_latency_max = part.read_latency_max
         out.rfm_records = sorted(
             (r for part in parts for r in part.rfm_records),
             key=lambda r: r.time,

@@ -78,6 +78,54 @@ class Event:
         return f"<Event t={self.time} prio={self.priority} seq={self.seq} {state} {self.label!r}>"
 
 
+class RepeatingTimer:
+    """A self-re-arming periodic callback (see :meth:`Engine.every`).
+
+    The underlying :class:`Event` changes at every re-arm, so callers
+    hold this stable handle instead; :meth:`stop` cancels the pending
+    occurrence and prevents further re-arms.  Used by observability
+    samplers — the periodic event is ordinary engine traffic, so
+    determinism (same-time ordering by seq) is untouched.
+    """
+
+    __slots__ = ("engine", "interval", "callback", "priority", "label", "_event", "stopped")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval: float,
+        callback: Callable[[], Any],
+        priority: int,
+        label: str,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.engine = engine
+        self.interval = interval
+        self.callback = callback
+        self.priority = priority
+        self.label = label
+        self.stopped = False
+        self._event: Optional[Event] = engine.schedule_after(
+            interval, self._fire, priority=priority, label=label
+        )
+
+    def _fire(self) -> None:
+        self.callback()
+        if not self.stopped:
+            self._event = self.engine.schedule_after(
+                self.interval, self._fire, priority=self.priority, label=self.label
+            )
+
+    def stop(self) -> None:
+        """Cancel the pending occurrence and stop re-arming."""
+        self.stopped = True
+        event = self._event
+        if event is not None:
+            event.cancel()
+            self._event = None
+
+
 class Engine:
     """Deterministic discrete-event simulation engine.
 
@@ -145,6 +193,22 @@ class Engine:
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule(self.now + delay, callback, priority=priority, label=label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> RepeatingTimer:
+        """Run ``callback`` every ``interval`` ns (first at now+interval).
+
+        Returns a :class:`RepeatingTimer`; ``stop()`` it to end the
+        series.  The series re-arms itself forever — pair with
+        :meth:`request_stop`-style termination, as a repeating event
+        alone keeps the queue non-empty.
+        """
+        return RepeatingTimer(self, interval, callback, priority, label)
 
     # ------------------------------------------------------------------
     # Execution

@@ -46,6 +46,7 @@ from repro.analysis.storage import (
 )
 from repro.core.executor import error_entry, map_tasks, to_jsonable
 from repro.experiments import registry
+from repro.obs.log import get_logger
 
 #: Backward-compatible alias; the implementation moved to
 #: :mod:`repro.core.executor` when the campaign engine began sharing it.
@@ -201,6 +202,10 @@ def run_suite(
 
     out_root = Path(output_dir)
     out_root.mkdir(parents=True, exist_ok=True)
+    log = get_logger()
+    log.info(
+        "suite.start", experiments=len(names), scale=scale, out=str(out_root)
+    )
     # Merge with any existing index so a subset run (--only fig3) never
     # erases the record of previously completed artifacts.
     index = SummaryIndex.load(out_root)
@@ -221,6 +226,12 @@ def run_suite(
         else:
             _invalidate_stale_result(path)
         index.record(_summary_entry(payload, path))
+        log.info(
+            "suite.experiment",
+            experiment=name,
+            status=payload["status"],
+            elapsed=payload.get("elapsed_seconds", 0.0),
+        )
 
     # Partition: cache hits, pool-eligible registry specs, inline customs.
     pooled: List[tuple] = []
@@ -239,6 +250,7 @@ def run_suite(
             entry = _summary_entry(cached, path)
             entry["status"] = "cached"
             index.record(entry)
+            log.debug("suite.experiment", experiment=name, status="cached")
             continue
         pooled.append((name, spec.module, kwargs, key if use_cache else None))
 

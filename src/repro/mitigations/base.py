@@ -15,10 +15,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.dram.commands import RfmProvenance
+from repro.obs.metrics import NULL_COUNTER
 from repro.prac.mitigation_queue import MitigationQueue, SingleEntryFrequencyQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import MemoryController
+    from repro.obs.metrics import MetricsRegistry
 
 #: Builds one per-bank mitigation queue; policies take it so tests can
 #: substitute deeper/fifo queues without subclassing.
@@ -35,6 +37,13 @@ class MitigationPolicy:
         self.queues: List[MitigationQueue] = []
         self.controller: Optional["MemoryController"] = None
         self.mitigations_performed = 0
+        #: per-row mitigation counter; a live handle when the owning
+        #: controller runs with ``metrics=True`` (see :meth:`bind_metrics`)
+        self.mitigation_counter = NULL_COUNTER
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Expose mitigation volume as ``policy.mitigations`` counts."""
+        self.mitigation_counter = metrics.counter("policy.mitigations")
 
     # ------------------------------------------------------------------
     def attach(self, controller: "MemoryController") -> None:
@@ -65,6 +74,7 @@ class MitigationPolicy:
             controller.channel.bank(bank_id).mitigate(victim)
             mitigated[bank_id] = victim
             self.mitigations_performed += 1
+            self.mitigation_counter.inc()
         return mitigated
 
     def on_tref(self, controller: "MemoryController", time: float) -> None:

@@ -59,3 +59,4 @@ class QpracPolicy(MitigationPolicy):
             controller.channel.bank(bank_id).mitigate(victim)
             self.mitigations_performed += 1
             self.proactive_mitigations += 1
+            self.mitigation_counter.inc()

@@ -96,6 +96,7 @@ class TpracPolicy(MitigationPolicy):
             if victim is not None:
                 controller.channel.bank(bank_id).mitigate(victim)
                 self.mitigations_performed += 1
+                self.mitigation_counter.inc()
         self._tref_in_window = True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Observability: structured tracing, metrics, and campaign telemetry.
+
+The simulator's only windows into a run used to be end-of-run
+:class:`~repro.controller.stats.ControllerStats` aggregates.  This
+package adds three opt-in layers, all following the sanitizer's
+zero-overhead-off discipline (results are byte-identical with
+telemetry disabled, and the off path adds no per-event work):
+
+* :mod:`repro.obs.trace` — a structured trace recorder behind
+  ``SystemConfig(trace=True)`` capturing the served DRAM command
+  stream, REF/RFM windows, PRAC counter updates and ABO alert
+  lifecycles as typed events, with JSONL and Chrome ``trace_event``
+  exporters (loadable in Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.metrics` + :mod:`repro.obs.sampler` — a counters/
+  gauges/histograms registry behind ``SystemConfig(metrics=True)``
+  plus a periodic sim-time sampler emitting windowed series (queue
+  depth, row-hit rate, bus occupancy, alerts/s, events/s wall-rate).
+* :mod:`repro.obs.heartbeat` / :mod:`repro.obs.progress` /
+  :mod:`repro.obs.report` — campaign progress telemetry: an
+  append-only heartbeat JSONL stream, a live TTY renderer behind
+  ``repro campaign --progress``, and the ``repro obs`` CLI
+  (``obs report`` / ``obs export-trace``).
+
+:mod:`repro.obs.log` is the structured key=value logger the harness
+layers use instead of bare ``print`` (enforced by the ``no-print``
+repro_lints rule).
+"""
+
+from repro.obs.heartbeat import HeartbeatWriter, read_heartbeat
+from repro.obs.log import get_logger, set_verbosity
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.trace import TraceEvent, TraceRecorder, chrome_trace, load_trace_jsonl
+
+__all__ = [
+    "HeartbeatWriter",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "TimeSeriesSampler",
+    "TraceEvent",
+    "TraceRecorder",
+    "chrome_trace",
+    "get_logger",
+    "load_trace_jsonl",
+    "read_heartbeat",
+    "set_verbosity",
+]

@@ -1,0 +1,103 @@
+"""Structured key=value progress logging for the harness layers.
+
+``print(...)`` in library code is banned by the ``no-print``
+repro_lints rule: progress and diagnostics go through this logger,
+which writes machine-parseable single-line events to **stderr** (the
+CLIs own stdout for result tables, and ``verify.sh`` greps it)::
+
+    suite.experiment experiment=fig10 status=ok elapsed=3.2
+
+Verbosity has three levels — ``quiet`` (errors/warnings only),
+``info`` (the default: lifecycle events) and ``debug`` (per-trial
+noise) — set by the CLI's ``--quiet``/``--verbose`` flags via
+:func:`set_verbosity`.  The level is mirrored into the
+``REPRO_VERBOSITY`` environment variable so process-pool workers
+inherit it.
+
+Values render as ``repr``-free tokens: floats compactly, strings
+quoted only when they contain whitespace or ``=``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Optional, TextIO
+
+#: verbosity order; higher includes lower
+LEVELS = ("quiet", "info", "debug")
+
+ENV_VAR = "REPRO_VERBOSITY"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    text = str(value)
+    if text == "" or any(c in text for c in ' \t"=') :
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """One named key=value line logger (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str = "repro",
+        level: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        if level is None:
+            level = os.environ.get(ENV_VAR, "info")
+        if level not in LEVELS:
+            level = "info"
+        self.name = name
+        self.level = level
+        self.stream = stream
+
+    # ------------------------------------------------------------------
+    def _emit(self, threshold: str, event: str, fields: Any) -> None:
+        if LEVELS.index(self.level) < LEVELS.index(threshold):
+            return
+        parts = [event]
+        parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+        stream = self.stream if self.stream is not None else sys.stderr
+        stream.write(" ".join(parts) + "\n")
+        stream.flush()
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Lifecycle events (suite/campaign start, finish, errors)."""
+        self._emit("info", event, fields)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Per-trial / per-artifact noise; shown under ``--verbose``."""
+        self._emit("debug", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Always shown (even under ``--quiet``)."""
+        self._emit("quiet", event, fields)
+
+    def set_level(self, level: str) -> None:
+        """Switch verbosity; unknown level names raise ``ValueError``."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown verbosity {level!r}; have {list(LEVELS)}")
+        self.level = level
+
+
+#: the process-wide default logger used by the harness layers
+_default = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    """The shared default logger."""
+    return _default
+
+
+def set_verbosity(level: str) -> None:
+    """Set the default logger's level and export it to child processes."""
+    _default.set_level(level)
+    os.environ[ENV_VAR] = level

@@ -1,0 +1,214 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+Instruments hold a **handle** (``Counter`` / ``Gauge`` / ``Histogram``,
+all ``__slots__`` objects with one hot method) obtained once from a
+:class:`MetricsRegistry` at wiring time, so the per-event cost is a
+single method call on a pre-resolved object — no name lookups on the
+hot path.  A registry constructed with ``enabled=False`` (or the
+module-level :data:`NULL_REGISTRY`) hands out shared no-op singletons
+instead, so call sites never need an ``if metrics:`` guard and the
+disabled path costs one C-level no-op call at worst.  Components that
+would pay per-request costs additionally gate their wiring on
+:attr:`MetricsRegistry.enabled` so the default path does no telemetry
+work at all.
+
+Histograms are fixed-bucket (upper-bound list + overflow), matching
+the always-on latency histogram in
+:class:`repro.controller.stats.ControllerStats`;
+:func:`percentile_from_buckets` is the shared estimator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self.value += amount
+
+
+class Gauge:
+    """A named value that can move both ways (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket named distribution (upper bounds + overflow)."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # counts[i] tallies values <= bounds[i]; counts[-1] is overflow.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Tally one value into its bucket (one bisect, no allocation)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile via :func:`percentile_from_buckets`."""
+        return percentile_from_buckets(self.bounds, self.counts, q)
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null", ())
+
+
+def percentile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile (0..1) of a fixed-bucket histogram.
+
+    Linear interpolation inside the bucket holding the quantile rank;
+    the overflow bucket reports its lower bound (the histogram cannot
+    see past its last edge).  Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be within [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if index >= len(bounds):
+                return float(lower)  # overflow bucket: clamp to last edge
+            upper = bounds[index]
+            fraction = (rank - cumulative) / count
+            return float(lower + (upper - lower) * fraction)
+        cumulative += count
+    return float(bounds[-1]) if bounds else 0.0
+
+
+class MetricsRegistry:
+    """Process-local registry of named instruments.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name, bounds)``
+    return the live handle for ``name`` (created on first request),
+    or the shared no-op singleton when the registry is disabled.
+    :meth:`snapshot` renders everything to one JSON-able dict.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (same handle per name; null when off)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = Counter(name)
+        return handle
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (same handle per name; null when off)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        handle = self._gauges.get(name)
+        if handle is None:
+            handle = self._gauges[name] = Gauge(name)
+        return handle
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        """The histogram named ``name``; re-registering with different
+        bucket bounds raises (one distribution per name)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        handle = self._histograms.get(name)
+        if handle is None:
+            handle = self._histograms[name] = Histogram(name, bounds)
+        elif handle.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{handle.bounds}, requested {tuple(bounds)}"
+            )
+        return handle
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one JSON-able dict (sorted names)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "sum": h.sum,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: The shared disabled registry: default for every component that takes
+#: an optional ``metrics`` parameter.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def registry_or_null(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Normalize an optional registry parameter."""
+    return metrics if metrics is not None else NULL_REGISTRY

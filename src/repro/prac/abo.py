@@ -61,6 +61,9 @@ class AboProtocol:
         #: controller registers a callback fired when Alert asserts:
         #: f(time, bank_id, row)
         self.on_alert: List[Callable[[float, int, int], None]] = []
+        #: fired when the controller reports the RFM burst done and the
+        #: protocol leaves ALERTED: f(time)
+        self.on_mitigated: List[Callable[[float], None]] = []
         self._pending_alert_time: Optional[float] = None
         for bank in channel:
             bank.on_activate(self._observe_activation)
@@ -115,6 +118,8 @@ class AboProtocol:
         self.alerting_row = None
         self.alert_pending = False
         self.must_mitigate_now = False
+        for hook in self.on_mitigated:
+            hook(self._now())
 
     def reset(self) -> None:
         """Return to IDLE (used on tREFW counter resets in some designs)."""

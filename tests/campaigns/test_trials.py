@@ -169,3 +169,55 @@ def test_aes_trial_rejects_unsupported_mitigation():
 def test_feinting_trial_requires_tprac():
     with pytest.raises(ValueError, match="tprac"):
         run_trial(Scenario(attack="feinting", mitigation="abo_only"), 0)
+
+
+def test_campaign_emits_heartbeat_and_lifecycle_events(tmp_path):
+    from repro.obs.heartbeat import last_run, read_heartbeat, summarize
+
+    scenarios = expand_grid({"attack": ["selftest"], "nbo": [64, 128]})
+    seen = []
+    run_campaign(
+        scenarios, tmp_path, trials=2, jobs=1, seed=0,
+        on_event=lambda event, fields: seen.append((event, dict(fields))),
+    )
+    events = [event for event, _ in seen]
+    assert events[0] == "campaign.start"
+    assert events[-1] == "campaign.finish"
+    assert events.count("scenario.finish") == 2
+    assert events.count("trial.finish") == 4
+
+    records = read_heartbeat(tmp_path)
+    assert [r["event"] for r in records] == events
+    summary = summarize(last_run(records))
+    assert summary["finished"] and not summary["faults"]
+    assert summary["events"]["trial.finish"] == 4
+
+
+def test_campaign_resume_heartbeat_appends_second_attempt(tmp_path):
+    from repro.obs.heartbeat import last_run, read_heartbeat
+
+    scenarios = expand_grid({"attack": ["selftest"], "nbo": [64]})
+    run_campaign(scenarios, tmp_path, trials=2, jobs=1, seed=0)
+    seen = []
+    run_campaign(
+        scenarios, tmp_path, trials=2, jobs=1, seed=0, resume=True,
+        on_event=lambda event, fields: seen.append((event, dict(fields))),
+    )
+    assert ("scenario.cached", {"label": "selftest/abo_only/nbo64",
+                                "trials": 2}) in [
+        (event, {k: fields[k] for k in ("label", "trials") if k in fields})
+        for event, fields in seen
+    ]
+    records = read_heartbeat(tmp_path)
+    starts = [r for r in records if r["event"] == "campaign.start"]
+    assert len(starts) == 2
+    assert starts[0].get("resumed") is False
+    assert starts[1].get("resumed") is True
+    latest = last_run(records)
+    assert {r["event"] for r in latest} >= {"scenario.cached", "campaign.finish"}
+
+
+def test_campaign_heartbeat_can_be_disabled(tmp_path):
+    scenarios = expand_grid({"attack": ["selftest"], "nbo": [64]})
+    run_campaign(scenarios, tmp_path, trials=1, jobs=1, heartbeat=False)
+    assert not (tmp_path / "heartbeat.jsonl").exists()

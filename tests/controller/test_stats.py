@@ -1,6 +1,8 @@
 """Unit tests for controller statistics bookkeeping."""
 
 
+import pytest
+
 from repro.controller.stats import ControllerStats, LatencySample, RfmRecord
 from repro.dram.commands import RfmProvenance
 
@@ -85,3 +87,52 @@ def test_core_samples_index_when_recording_enabled():
     stats.record_request(_sample(core_id=2, latency=100.0))
     assert [s.latency for s in stats.core_samples(2)] == [80.0, 100.0]
     assert stats.core_samples(2) == [s for s in stats.latency_samples if s.core_id == 2]
+
+
+def test_read_latency_histogram_counts_reads_only():
+    stats = ControllerStats(record_samples=False)
+    stats.record_completion(1.0, 30.0, core_id=0, bank_id=0, row=0,
+                            was_hit=True)
+    stats.record_completion(2.0, 70.0, core_id=0, bank_id=0, row=0,
+                            was_hit=False)
+    stats.record_completion(3.0, 500.0, core_id=0, bank_id=0, row=0,
+                            was_hit=False, is_write=True)
+    counts = stats.read_latency_bucket_counts
+    assert sum(counts) == 2                      # the write is excluded
+    assert counts[1] == 1                        # 30.0 in (20, 40]
+    assert counts[3] == 1                        # 70.0 in (60, 80]
+    assert stats.read_latency_max == 70.0
+
+
+def test_read_latency_percentiles_interpolate():
+    stats = ControllerStats(record_samples=False)
+    for _ in range(10):
+        stats.record_completion(0.0, 30.0, core_id=0, bank_id=0, row=0,
+                                was_hit=False)
+    # all mass in the (20, 40] bucket: linear interpolation inside it
+    assert stats.read_latency_percentile(0.5) == pytest.approx(30.0)
+    pcts = stats.latency_percentiles()
+    assert set(pcts) == {"p50", "p95", "p99"}
+    assert 20.0 < pcts["p50"] < pcts["p95"] < pcts["p99"] <= 40.0
+
+
+def test_read_latency_overflow_bucket_clamps_to_last_edge():
+    stats = ControllerStats(record_samples=False)
+    stats.record_completion(0.0, 50_000.0, core_id=0, bank_id=0, row=0,
+                            was_hit=False)
+    assert stats.read_latency_percentile(0.99) == 9600.0
+    assert stats.read_latency_max == 50_000.0
+
+
+def test_merged_sums_histogram_buckets_and_maxes():
+    a = ControllerStats(record_samples=False)
+    b = ControllerStats(record_samples=False)
+    a.record_completion(0.0, 30.0, core_id=0, bank_id=0, row=0, was_hit=False)
+    b.record_completion(0.0, 30.0, core_id=0, bank_id=0, row=0, was_hit=False)
+    b.record_completion(0.0, 700.0, core_id=1, bank_id=0, row=0, was_hit=False)
+    merged = ControllerStats.merged([a, b])
+    assert merged.read_latency_bucket_counts[1] == 2
+    assert sum(merged.read_latency_bucket_counts) == 3
+    assert merged.read_latency_max == 700.0
+    # a single part is returned as-is (live object, no copy)
+    assert ControllerStats.merged([a]) is a

@@ -1,0 +1,74 @@
+"""The structured key=value logger behind --verbose/--quiet."""
+
+import io
+
+import pytest
+
+from repro.obs.log import ENV_VAR, StructuredLogger, get_logger, set_verbosity
+
+pytestmark = pytest.mark.smoke
+
+
+def _capture(level="info"):
+    stream = io.StringIO()
+    return StructuredLogger(level=level, stream=stream), stream
+
+
+def test_info_line_format():
+    log, stream = _capture()
+    log.info("suite.experiment", experiment="fig10", status="ok", elapsed=3.25)
+    assert stream.getvalue() == (
+        "suite.experiment experiment=fig10 status=ok elapsed=3.25\n"
+    )
+
+
+def test_values_quote_only_when_needed():
+    log, stream = _capture()
+    log.info("e", plain="abc", spaced="a b", eq="k=v", empty="", flag=True)
+    assert stream.getvalue() == 'e plain=abc spaced="a b" eq="k=v" empty="" flag=true\n'
+
+
+def test_floats_render_compactly():
+    log, stream = _capture()
+    log.info("e", x=0.30000000000000004)
+    assert stream.getvalue() == "e x=0.3\n"
+
+
+def test_level_gating():
+    log, stream = _capture(level="info")
+    log.debug("hidden")
+    log.info("shown")
+    assert stream.getvalue() == "shown\n"
+    log.set_level("quiet")
+    log.info("also-hidden")
+    log.warning("always")
+    assert stream.getvalue() == "shown\nalways\n"
+    log.set_level("debug")
+    log.debug("now-shown")
+    assert stream.getvalue().endswith("now-shown\n")
+
+
+def test_unknown_level_rejected():
+    log, _ = _capture()
+    with pytest.raises(ValueError, match="unknown verbosity"):
+        log.set_level("loud")
+
+
+def test_constructor_falls_back_to_info_on_bad_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "bogus")
+    assert StructuredLogger().level == "info"
+    monkeypatch.setenv(ENV_VAR, "debug")
+    assert StructuredLogger().level == "debug"
+
+
+def test_set_verbosity_updates_default_logger_and_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    original = get_logger().level
+    try:
+        set_verbosity("quiet")
+        assert get_logger().level == "quiet"
+        import os
+
+        assert os.environ[ENV_VAR] == "quiet"
+    finally:
+        set_verbosity(original)

@@ -1,0 +1,105 @@
+"""The metrics registry: handles, null path, bucket percentiles."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_from_buckets,
+    registry_or_null,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+def test_counter_gauge_histogram_basics():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    gauge = Gauge("g")
+    gauge.set(7.0)
+    gauge.set(-1.0)
+    assert gauge.value == -1.0
+    hist = Histogram("h", (10.0, 20.0))
+    for value in (5.0, 15.0, 99.0):
+        hist.observe(value)
+    assert hist.counts == [1, 1, 1]
+    assert hist.total == 3 and hist.sum == 119.0
+
+
+def test_registry_returns_the_same_handle_per_name():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z", (1.0,)) is registry.histogram("z", (1.0,))
+
+
+def test_histogram_bounds_conflict_raises():
+    registry = MetricsRegistry()
+    registry.histogram("h", (1.0, 2.0))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.histogram("h", (1.0, 3.0))
+
+
+def test_disabled_registry_hands_out_shared_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("anything")
+    assert counter is NULL_COUNTER
+    assert registry.gauge("g") is NULL_GAUGE
+    assert registry.histogram("h", (1.0,)) is NULL_HISTOGRAM
+    # bumping the no-ops must not mutate shared state
+    counter.inc(100.0)
+    NULL_GAUGE.set(5.0)
+    NULL_HISTOGRAM.observe(1.0)
+    assert NULL_COUNTER.value == 0.0
+    assert NULL_GAUGE.value == 0.0
+    assert NULL_HISTOGRAM.total == 0
+    # nothing is registered, so the snapshot stays empty
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_null_registry_module_singleton():
+    assert not NULL_REGISTRY.enabled
+    assert registry_or_null(None) is NULL_REGISTRY
+    live = MetricsRegistry()
+    assert registry_or_null(live) is live
+
+
+def test_snapshot_is_sorted_and_jsonable():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc(2.0)
+    registry.gauge("depth").set(4.0)
+    registry.histogram("lat", (10.0,)).observe(3.0)
+    snap = registry.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["a"] == 2.0
+    assert snap["histograms"]["lat"]["counts"] == [1, 0]
+
+
+# ----------------------------------------------------------------------
+# percentile_from_buckets (shared with ControllerStats)
+# ----------------------------------------------------------------------
+def test_percentile_empty_histogram_is_zero():
+    assert percentile_from_buckets((10.0, 20.0), [0, 0, 0], 0.5) == 0.0
+
+
+def test_percentile_interpolates_inside_bucket():
+    # 10 observations uniformly in the (0, 10] bucket: median ~ 5.
+    assert percentile_from_buckets((10.0,), [10, 0], 0.5) == pytest.approx(5.0)
+
+
+def test_percentile_overflow_clamps_to_last_edge():
+    assert percentile_from_buckets((10.0, 20.0), [0, 0, 5], 0.99) == 20.0
+
+
+def test_percentile_rejects_bad_quantile():
+    with pytest.raises(ValueError, match="quantile"):
+        percentile_from_buckets((10.0,), [1, 0], 1.5)

@@ -1,0 +1,77 @@
+"""The live campaign progress renderer (non-TTY degradation path)."""
+
+import io
+
+import pytest
+
+from repro.obs.progress import CampaignProgressRenderer
+
+pytestmark = pytest.mark.smoke
+
+
+def _drive(renderer, events):
+    for event, fields in events:
+        renderer.on_event(event, fields)
+
+
+def test_non_tty_prints_one_line_per_scenario():
+    stream = io.StringIO()
+    renderer = CampaignProgressRenderer(stream=stream)
+    assert not renderer.is_tty
+    _drive(renderer, [
+        ("campaign.start", {"scenarios": 2, "trials": 2}),
+        ("scenario.start", {"label": "a"}),
+        ("trial.finish", {"label": "a", "status": "ok"}),
+        ("trial.finish", {"label": "a", "status": "ok"}),
+        ("scenario.finish", {"label": "a"}),
+        ("scenario.start", {"label": "b"}),
+        ("trial.finish", {"label": "b", "status": "ok"}),
+        ("trial.finish", {"label": "b", "status": "ok"}),
+        ("scenario.finish", {"label": "b"}),
+        ("campaign.finish", {"scenarios_ok": 2}),
+    ])
+    lines = stream.getvalue().splitlines()
+    # one line per scenario completion + the closing line
+    assert lines == [
+        "campaign 1/2 scenarios | 2/4 trials | a",
+        "campaign 2/2 scenarios | 4/4 trials | b",
+        "campaign 2/2 scenarios | 4/4 trials | b",
+    ]
+
+
+def test_faulted_trial_counts_once_with_a_fault():
+    # run_campaign emits trial.fault *and* trial.finish for a failed
+    # trial: the fault bumps the fault tally only, the finish bumps the
+    # trial count, so nothing is double-counted.
+    stream = io.StringIO()
+    renderer = CampaignProgressRenderer(stream=stream)
+    _drive(renderer, [
+        ("campaign.start", {"scenarios": 1, "trials": 2}),
+        ("trial.fault", {"seed": 0}),
+        ("trial.finish", {"label": "x", "status": "error"}),
+        ("trial.finish", {"label": "x", "status": "ok"}),
+        ("scenario.finish", {"label": "x"}),
+        ("campaign.finish", {}),
+    ])
+    assert renderer.trials_done == 2
+    assert renderer.faults == 1
+    assert "1 fault |" in stream.getvalue()
+
+
+def test_cached_scenarios_count_their_trials():
+    stream = io.StringIO()
+    renderer = CampaignProgressRenderer(stream=stream)
+    _drive(renderer, [
+        ("campaign.start", {"scenarios": 2, "trials": 3, "resumed": True}),
+        ("scenario.cached", {"label": "a", "trials": 3}),
+        ("campaign.finish", {}),
+    ])
+    assert renderer.scenarios_done == 1
+    assert renderer.trials_done == 3
+    assert "1 cached" in stream.getvalue()
+
+
+def test_unknown_events_are_ignored():
+    renderer = CampaignProgressRenderer(stream=io.StringIO())
+    renderer.on_event("future.event", {"anything": 1})  # must not raise
+    assert renderer.trials_done == 0

@@ -173,3 +173,68 @@ def test_bench_smoke_writes_report_with_comparison(tmp_path, capsys):
 def test_bench_only_without_names_rejected(capsys):
     assert main(["bench", "--only"]) == 2
     assert "no workload names" in capsys.readouterr().err
+
+
+def test_obs_report_renders_campaign_summary(tmp_path, capsys):
+    from repro.obs.heartbeat import HEARTBEAT_FILENAME, HeartbeatWriter
+
+    with HeartbeatWriter(tmp_path / HEARTBEAT_FILENAME) as writer:
+        writer.emit("campaign.start", scenarios=1, trials=1)
+        writer.emit("campaign.finish", scenarios_ok=1)
+    assert main(["obs", "report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"campaign: {tmp_path}" in out
+    assert "heartbeat: 2 records" in out
+
+
+def test_obs_report_missing_directory_fails(tmp_path, capsys):
+    assert main(["obs", "report", str(tmp_path / "nope")]) == 1
+    assert "not a campaign directory" in capsys.readouterr().err
+
+
+def test_obs_export_trace_writes_chrome_json(tmp_path, capsys):
+    from repro.obs.trace import TraceEvent, export_trace_jsonl
+
+    source = tmp_path / "trace-s0.jsonl"
+    export_trace_jsonl([TraceEvent("ACT", 1.0, dur=15.0, bank=0, row=2)],
+                       source)
+    out_path = tmp_path / "custom.chrome.json"
+    assert main(["obs", "export-trace", str(source),
+                 "--out", str(out_path)]) == 0
+    assert f"-> {out_path}" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert any(e.get("name") == "ACT" for e in doc["traceEvents"])
+
+
+def test_obs_usage_errors_exit_2(capsys):
+    assert main(["obs"]) == 2
+    assert "needs a subcommand" in capsys.readouterr().err
+    assert main(["obs", "frobnicate"]) == 2
+    assert "unknown obs subcommand" in capsys.readouterr().err
+    assert main(["obs", "export-trace"]) == 2
+    assert "export-trace" in capsys.readouterr().err
+
+
+def test_obs_arguments_rejected_on_other_commands(capsys):
+    assert main(["fig7", "report"]) == 2
+    assert "obs" in capsys.readouterr().err
+
+
+def test_progress_flag_only_valid_for_campaign(capsys):
+    assert main(["suite", "--progress"]) == 2
+    assert "--progress" in capsys.readouterr().err
+
+
+def test_strict_flag_only_valid_for_bench(capsys):
+    assert main(["fig7", "--strict"]) == 2
+    assert "--strict" in capsys.readouterr().err
+
+
+def test_verbosity_flags_are_global_and_exclusive(capsys):
+    assert main(["--quiet", "list"]) == 0
+    capsys.readouterr()
+    assert main(["--verbose", "list"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["--verbose", "--quiet", "list"])
+    capsys.readouterr()

@@ -171,6 +171,41 @@ class TestFloatFormatDrift:
 
 
 # ----------------------------------------------------------------------
+# no-print
+# ----------------------------------------------------------------------
+class TestNoPrint:
+    def test_print_in_library_flagged(self):
+        src = "def f(x):\n    print(x)\n"
+        found = lint_source(src, "src/repro/experiments/runner.py")
+        assert rules_of(found) == ["no-print"]
+        assert "repro.obs.log" in found[0].message
+
+    def test_cli_exempt(self):
+        src = "print('table')\n"
+        assert lint_source(src, "src/repro/cli.py") == []
+
+    def test_obs_package_exempt(self):
+        src = "print('progress')\n"
+        assert lint_source(src, "src/repro/obs/progress.py") == []
+
+    def test_docstring_mention_allowed(self):
+        src = '"""Never print(...) here."""\nx = 1\n'
+        assert lint_source(src, "src/repro/campaigns/trials.py") == []
+
+    def test_waiver_suppresses(self):
+        src = "print('one-off')  # repro-lint: allow(no-print)\n"
+        assert lint_source(src, "src/repro/experiments/runner.py") == []
+
+    def test_shadowed_method_allowed(self):
+        src = "def f(doc):\n    doc.print(2)\n"
+        assert lint_source(src, "src/repro/experiments/runner.py") == []
+
+    def test_tests_out_of_scope(self):
+        src = "print('debugging')\n"
+        assert lint_source(src, "tests/obs/test_trace.py") == []
+
+
+# ----------------------------------------------------------------------
 # suite mechanics
 # ----------------------------------------------------------------------
 class TestSuiteMechanics:

@@ -7,6 +7,7 @@ decorator.  Adding a rule module = write it + import it here.
 
 from tools.repro_lints.rules import (  # noqa: F401  (imported for registration)
     determinism,
+    no_print,
     persistence,
     registry_bypass,
     slots,

@@ -1,0 +1,56 @@
+"""Library-code print ban.
+
+With the structured logger in :mod:`repro.obs.log` and the heartbeat
+stream carrying progress, a bare ``print(...)`` in library code is
+always a mistake: it bypasses ``--verbose``/``--quiet``, interleaves
+with the result tables the CLI writes to stdout (which ``verify.sh``
+greps byte-exactly), and cannot be captured by campaign telemetry.
+The only layers that legitimately talk to the terminal are the CLI
+front-end (``src/repro/cli.py``) and the observability package itself
+(``src/repro/obs/``, whose progress renderer and logger own the
+streams).  Anything else should call ``repro.obs.log.get_logger()`` —
+or, for genuine one-off tooling output, carry an inline
+``# repro-lint: allow(no-print)`` waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_lints.base import Module, Rule, Violation, register
+
+#: layers allowed to write to the terminal directly
+_EXEMPT_PREFIXES = ("src/repro/cli.py", "src/repro/obs/")
+
+
+@register
+class NoPrintRule(Rule):
+    """Forbid bare ``print(...)`` outside the CLI and obs layers."""
+
+    name = "no-print"
+    rationale = (
+        "library code must log via repro.obs.log (honors --verbose/--quiet, "
+        "keeps stdout byte-stable for result tables); print() is reserved "
+        "for the CLI front-end and the obs package"
+    )
+    scope = ("src/repro/",)
+
+    def applies_to(self, path: str) -> bool:
+        if not super().applies_to(path):
+            return False
+        return not any(path.startswith(prefix) for prefix in _EXEMPT_PREFIXES)
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "print() in library code; use repro.obs.log.get_logger() "
+                    "(or stream-returning formatters) instead",
+                )
