@@ -13,6 +13,14 @@ Two kinds of "storage" live here:
 * On-disk result storage for the experiment suite: atomic JSON writes,
   content-hash cache keys, and the incrementally-flushed
   ``summary.json`` index that makes interrupted suite runs resumable.
+
+Resumability makes persisted files *inputs*, so this module also
+hardens the read side: result documents can carry a content-checksum
+footer (:func:`attach_checksum`), readers validate it via
+:func:`load_checked_json`, and anything unreadable is moved to a
+``*.corrupt`` sidecar by :func:`quarantine_corrupt` — preserved for
+forensics, invisible to ``--resume`` — so the orchestrators re-run the
+work instead of trusting a damaged file.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from repro.core.executor import FAULT_PLAN_ENV
 from repro.dram.config import DramConfig, ddr5_8000b
 
 PathLike = Union[str, Path]
@@ -79,22 +88,12 @@ def atomic_write_json(path: PathLike, payload: Any) -> Path:
     the new file.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    text = json.dumps(payload, indent=2) + "\n"
+    if os.environ.get(FAULT_PLAN_ENV):  # chaos-leg output corruption
+        from repro import faults
+
+        text = faults.mangle_output(path.name, text)
+    return atomic_write_text(path, text)
 
 
 def atomic_write_text(path: PathLike, text: str) -> Path:
@@ -125,6 +124,84 @@ def content_key(payload: Any) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+# ----------------------------------------------------------------------
+# Corruption detection and quarantine
+
+#: Key under which a result document records its own content checksum.
+CHECKSUM_KEY = "checksum"
+
+#: Suffix appended to files moved aside by :func:`quarantine_corrupt`.
+CORRUPT_SUFFIX = ".corrupt"
+
+
+class CorruptResultError(ValueError):
+    """A persisted result file failed validation (parse or checksum)."""
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+def attach_checksum(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Return ``doc`` with a ``checksum`` footer over its other keys.
+
+    The checksum covers the canonical JSON of the document *without*
+    the footer, so any post-write mutation — truncation, bit rot, a
+    hand edit — is detectable by :func:`verify_checksum`.
+    """
+    body = {k: v for k, v in doc.items() if k != CHECKSUM_KEY}
+    return {**body, CHECKSUM_KEY: f"sha256:{content_key(body)}"}
+
+
+def verify_checksum(doc: Any) -> Optional[bool]:
+    """True/False for a checksummed document; None when no footer.
+
+    ``None`` (rather than False) for footer-less documents keeps
+    pre-checksum result files loadable — legacy artifacts are accepted,
+    not quarantined.
+    """
+    if not isinstance(doc, dict) or CHECKSUM_KEY not in doc:
+        return None
+    body = {k: v for k, v in doc.items() if k != CHECKSUM_KEY}
+    return bool(doc[CHECKSUM_KEY] == f"sha256:{content_key(body)}")
+
+
+def load_checked_json(path: PathLike) -> Any:
+    """Parse ``path`` and validate its checksum footer if present.
+
+    Raises :class:`CorruptResultError` for unparseable JSON or a
+    checksum mismatch; missing files raise ``OSError`` as usual
+    (absence is not corruption).
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptResultError(path, f"invalid JSON: {exc}") from exc
+    if verify_checksum(doc) is False:
+        raise CorruptResultError(path, "checksum mismatch")
+    return doc
+
+
+def quarantine_corrupt(path: PathLike) -> Path:
+    """Move a damaged file to a ``*.corrupt`` sidecar and return it.
+
+    The sidecar name is uniquified (``.corrupt.1``, ``.corrupt.2`` …)
+    so repeated corruption of a re-run file never destroys earlier
+    evidence.
+    """
+    path = Path(path)
+    sidecar = path.with_name(path.name + CORRUPT_SUFFIX)
+    counter = 1
+    while sidecar.exists():
+        sidecar = path.with_name(f"{path.name}{CORRUPT_SUFFIX}.{counter}")
+        counter += 1
+    os.replace(path, sidecar)
+    return sidecar
+
+
 class SummaryIndex:
     """The ``summary.json`` index of a suite results directory.
 
@@ -148,13 +225,23 @@ class SummaryIndex:
 
     @classmethod
     def load(cls, root: PathLike) -> "SummaryIndex":
-        """Read an existing index (tolerates missing/corrupt/wrong-shape files)."""
+        """Read an existing index.
+
+        Missing files yield an empty index; corrupt or wrong-shape
+        files are moved to a ``*.corrupt`` sidecar (then yield an empty
+        index) so every completed experiment is re-validated against
+        its own result file rather than a damaged summary.
+        """
         index = cls(root)
         try:
             rows = json.loads(index.path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return index
+        except json.JSONDecodeError:
+            quarantine_corrupt(index.path)
             return index
         if not isinstance(rows, list):
+            quarantine_corrupt(index.path)
             return index
         for entry in rows:
             if not isinstance(entry, dict) or "experiment" not in entry:

@@ -36,12 +36,16 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 from repro import __version__
 from repro.analysis.stats_utils import Welford, bootstrap_ci
 from repro.analysis.storage import (
+    CorruptResultError,
     PathLike,
     SummaryIndex,
     atomic_write_json,
+    attach_checksum,
     content_key,
+    load_checked_json,
+    quarantine_corrupt,
 )
-from repro.core.executor import error_entry, map_tasks
+from repro.core.executor import RetryPolicy, error_entry, supervise_tasks
 from repro.campaigns import runners
 from repro.campaigns.runners import run_trial
 from repro.campaigns.scenario import Scenario
@@ -152,13 +156,19 @@ class ScenarioRun:
         return sum(1 for t in self.trials.values() if t["status"] == "error")
 
     @property
+    def quarantined_count(self) -> int:
+        return sum(
+            1 for t in self.trials.values() if t["status"] == "quarantined"
+        )
+
+    @property
     def complete(self) -> bool:
         return len(self.trials) >= self.trials_requested
 
     @property
     def status(self) -> str:
         """ok / partial / error once complete (all, some, no trials ok)."""
-        if self.error_count == 0:
+        if self.error_count == 0 and self.quarantined_count == 0:
             return "ok"
         return "partial" if self.ok_count else "error"
 
@@ -183,13 +193,18 @@ class ScenarioRun:
                 ci_seed=self.base_seed,
             ),
         }
+        if self.quarantined_count:
+            doc["trials_quarantined"] = self.quarantined_count
         if self.complete:
             doc["cache_key"] = self.cache_key
         return doc
 
     def flush(self) -> None:
-        """Atomically rewrite the scenario document with current state."""
-        atomic_write_json(self.path, self.payload())
+        """Atomically rewrite the scenario document with current state.
+
+        The persisted document carries a content-checksum footer so a
+        resume can tell post-write damage from a genuine result."""
+        atomic_write_json(self.path, attach_checksum(self.payload()))
 
 
 @dataclass
@@ -223,18 +238,31 @@ def _scenario_cache_key(scenario: Scenario, base_seed: int) -> str:
 
 
 def _resumable(path: Path, key: str, trials: int) -> bool:
-    """Whether a persisted scenario document satisfies this request."""
+    """Whether a persisted scenario document satisfies this request.
+
+    Raises :class:`~repro.analysis.storage.CorruptResultError` for an
+    unparseable or checksum-mismatched document — the caller
+    quarantines the file and re-runs the scenario rather than trusting
+    (or silently overwriting) damaged results.
+    """
     if not path.exists():
         return False
-    try:
-        doc = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return False
+    doc = load_checked_json(path)
     return (
-        doc.get("cache_key") == key
+        isinstance(doc, dict)
+        and doc.get("cache_key") == key
         and doc.get("status") == "ok"
         and doc.get("trials_completed", 0) >= trials
     )
+
+
+#: supervisor event -> campaign heartbeat event (trial-level naming)
+_SUPERVISE_EVENTS = {
+    "task.retry": "trial.retry",
+    "task.timeout": "trial.timeout",
+    "task.quarantined": "trial.quarantined",
+    "pool.rebuild": "pool.rebuild",
+}
 
 
 def run_campaign(
@@ -245,6 +273,8 @@ def run_campaign(
     jobs: Optional[int] = None,
     seed: int = 0,
     resume: bool = False,
+    retries: int = 2,
+    timeout: Optional[float] = None,
     on_event: Optional[EventHook] = None,
     heartbeat: bool = True,
 ) -> CampaignResult:
@@ -264,7 +294,14 @@ def run_campaign(
         Pool width (default ``os.cpu_count()``); ``jobs=1`` runs inline.
     resume:
         Skip scenarios whose persisted document matches the cache key
-        and trial count; they are reported as ``"cached"``.
+        and trial count; they are reported as ``"cached"``.  Documents
+        that fail validation (truncation, bad JSON, checksum mismatch)
+        are moved to ``*.corrupt`` sidecars and their scenarios re-run.
+    retries / timeout:
+        Resilience knobs forwarded to the supervising executor
+        (:class:`~repro.core.executor.RetryPolicy`): transient-failure
+        retry budget per trial, and the per-attempt wall-clock deadline
+        in seconds (pool mode only).
     on_event:
         Optional subscriber called with every lifecycle event the
         heartbeat records — ``(event, fields)`` pairs in completion
@@ -273,6 +310,12 @@ def run_campaign(
         Append lifecycle events to ``heartbeat.jsonl`` in the campaign
         directory (append-only across attempts; see
         :mod:`repro.obs.heartbeat`).
+
+    A ``KeyboardInterrupt`` mid-run aborts cleanly: the pool is torn
+    down, an ``campaign.interrupted`` event is recorded, the index is
+    flushed with everything that completed, and the interrupt
+    re-raised (per-trial flushes mean every landed trial is already on
+    disk).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -293,6 +336,10 @@ def run_campaign(
         if on_event is not None:
             on_event(event, fields)
 
+    runs: Dict[str, ScenarioRun] = {}
+    statuses: Dict[str, str] = {}
+    labels: Dict[str, str] = {}
+    paths: Dict[str, Path] = {}
     try:
         emit(
             "campaign.start",
@@ -300,10 +347,6 @@ def run_campaign(
             trials=trials,
             resumed=bool(resume),
         )
-        runs: Dict[str, ScenarioRun] = {}
-        statuses: Dict[str, str] = {}
-        labels: Dict[str, str] = {}
-        paths: Dict[str, Path] = {}
         for scenario in scenarios:
             sid = scenario.scenario_id
             if sid in runs or sid in statuses:
@@ -312,7 +355,26 @@ def run_campaign(
             path = out_root / f"scenario-{sid}.json"
             paths[sid] = path
             key = _scenario_cache_key(scenario, seed)
-            if resume and _resumable(path, key, trials):
+            cached = False
+            if resume:
+                try:
+                    cached = _resumable(path, key, trials)
+                except CorruptResultError as exc:
+                    sidecar = quarantine_corrupt(path)
+                    emit(
+                        "scenario.corrupt",
+                        scenario_id=sid,
+                        label=scenario.label,
+                        reason=exc.reason,
+                        sidecar=sidecar.name,
+                    )
+                    log.warning(
+                        "campaign.corrupt_result",
+                        scenario=scenario.label,
+                        reason=exc.reason,
+                        sidecar=sidecar.name,
+                    )
+            if cached:
                 statuses[sid] = "cached"
                 emit(
                     "scenario.cached",
@@ -365,7 +427,21 @@ def run_campaign(
             for sid, run in runs.items()
             for t in range(trials)
         ]
-        for (sid, t), payload in map_tasks(_execute_trial, tasks, jobs=jobs):
+        policy = RetryPolicy(retries=retries, timeout=timeout, seed=seed)
+
+        def forward(event: str, fields: Dict[str, Any]) -> None:
+            """Translate supervisor events into trial-level heartbeat ones."""
+            fields = dict(fields)
+            fields.pop("task", None)  # redundant with scenario_id/trial
+            key = fields.pop("key", None)
+            if isinstance(key, tuple) and len(key) == 2:
+                fields["scenario_id"] = key[0]
+                fields["trial"] = key[1]
+            emit(_SUPERVISE_EVENTS.get(event, event), **fields)
+
+        for (sid, t), payload in supervise_tasks(
+            _execute_trial, tasks, jobs=jobs, policy=policy, on_event=forward
+        ):
             run = runs[sid]
             payload.setdefault("seed", seed + t)
             run.trials[t] = payload
@@ -385,7 +461,7 @@ def run_campaign(
                 status=payload.get("status", "?"),
                 elapsed=payload.get("elapsed_seconds", 0.0),
             )
-            if payload.get("status") == "error":
+            if payload.get("status") in ("error", "quarantined"):
                 error = payload.get("error", {})
                 emit(
                     "trial.fault",
@@ -417,15 +493,17 @@ def run_campaign(
                     "trials_ok": run.ok_count,
                     "trials_error": run.error_count,
                 }
-                if run.error_count:
+                if run.quarantined_count:
+                    entry["trials_quarantined"] = run.quarantined_count
+                if run.error_count or run.quarantined_count:
                     first_error = next(
-                        run.trials[t]["error"]
+                        run.trials[t].get("error", {})
                         for t in sorted(run.trials)
-                        if run.trials[t]["status"] == "error"
+                        if run.trials[t]["status"] in ("error", "quarantined")
                     )
                     entry["error"] = {
-                        "type": first_error["type"],
-                        "message": first_error["message"],
+                        "type": first_error.get("type", "?"),
+                        "message": first_error.get("message", ""),
                     }
                 index.record(entry)
 
@@ -437,6 +515,17 @@ def run_campaign(
                 1 for s in statuses.values() if s in ("partial", "error")
             ),
         )
+    except KeyboardInterrupt:
+        # The supervisor's generator already tore the pool down on the
+        # way out; every landed trial is flushed.  Record the abort and
+        # persist the index of what completed before re-raising.
+        emit(
+            "campaign.interrupted",
+            completed=len(statuses),
+            total=len(scenarios),
+        )
+        index.flush()
+        raise
     finally:
         if hb_writer is not None:
             hb_writer.close()

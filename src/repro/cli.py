@@ -19,6 +19,7 @@ Usage::
     python -m repro.cli campaign --grid channels=1,2,4 --trials 3
     python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs mapping=linear,mop
     python -m repro.cli campaign --grid trace=true metrics=true --progress
+    python -m repro.cli campaign --campaign security --timeout 120 --retries 3
     python -m repro.cli obs report results/
     python -m repro.cli obs export-trace results/obs/trace-abc123-s0.jsonl
 
@@ -322,10 +323,20 @@ def _run_suite(args) -> int:
             scale="full" if args.full else "quick",
             use_cache=not args.no_cache,
             force=args.force,
+            retries=args.retries if args.retries is not None else 2,
+            timeout=args.timeout,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print(
+            f"suite: interrupted after {time.time() - started:.1f}s; "
+            f"completed artifacts are cached in {args.out} and a re-run "
+            "picks up where this one stopped",
+            file=sys.stderr,
+        )
+        return 130
     # summary.json keeps history across runs; report/exit only on the
     # artifacts this invocation actually covered.
     requested = set(args.only) if args.only else set(registry.discover())
@@ -516,11 +527,21 @@ def _run_campaign(args) -> int:
             jobs=args.jobs,
             seed=args.seed or 0,
             resume=args.resume,
+            retries=args.retries if args.retries is not None else 2,
+            timeout=args.timeout,
             on_event=on_event,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print(
+            f"campaign: interrupted after {time.time() - started:.1f}s; "
+            f"partial results flushed to {args.out} (re-run with --resume "
+            "to continue)",
+            file=sys.stderr,
+        )
+        return 130
     width = max(len(label) for label in result.labels.values())
     for scenario in scenarios:
         sid = scenario.scenario_id
@@ -668,6 +689,17 @@ def build_parser() -> argparse.ArgumentParser:
             "expanded grid for 'campaign' — without running anything"
         ),
     )
+    shared.add_argument(
+        "--retries", type=int, default=None,
+        help="transient-failure retry budget per task before quarantine "
+             "(default 2; deterministic failures are never retried)",
+    )
+    shared.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline; a hung worker is killed, "
+             "the pool rebuilt, and the task charged a transient attempt "
+             "(default: no deadline; needs --jobs > 1)",
+    )
     suite = parser.add_argument_group("suite options")
     suite.add_argument(
         "--no-cache", action="store_true",
@@ -771,6 +803,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trials": args.trials is not None,
         "--seed": args.seed is not None,
         "--resume": args.resume,
+        "--retries": args.retries is not None,
+        "--timeout": args.timeout is not None,
         "--smoke": args.smoke,
         "--reps": args.reps is not None,
         "--warmup": args.warmup is not None,
@@ -781,10 +815,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     allowed = {
         "suite": {"--jobs", "--only", "--out", "--list", "--no-cache",
-                  "--force", "--full"},
+                  "--force", "--full", "--retries", "--timeout"},
         "campaign": {"--jobs", "--only", "--out", "--list", "--grid",
                      "--campaign", "--trials", "--seed", "--resume",
-                     "--progress"},
+                     "--progress", "--retries", "--timeout"},
         "bench": {"--only", "--out", "--list", "--smoke", "--reps",
                   "--warmup", "--rev", "--baseline", "--strict"},
         "obs": {"--out"},
@@ -803,6 +837,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "and 'obs' commands"
         )
         print(f"error: {', '.join(rejected)} {scope}", file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
         return 2
     # The structural flags only reach the perf harnesses (which thread
     # system= through run_perf_matrix/build_system); reject them

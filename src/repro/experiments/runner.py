@@ -10,14 +10,17 @@ reproduction results without re-running simulations.
 Execution model:
 
 * **Parallel** — registered experiments are independent simulations,
-  so they fan out over the shared pool executor
-  (:func:`repro.core.executor.map_tasks`; ``jobs=N``, default
+  so they fan out over the shared supervising executor
+  (:func:`repro.core.executor.supervise_tasks`; ``jobs=N``, default
   ``os.cpu_count()``), the same machinery the scenario campaign engine
   uses.  Custom in-process runners (arbitrary callables) execute inline
   in the parent, since closures do not survive pickling.
 * **Fault-isolated** — a crashing harness records a structured error
   entry (type, message, traceback) in ``summary.json``; every other
-  experiment still completes and the suite does not raise.
+  experiment still completes and the suite does not raise.  Transient
+  failures (including hung or hard-crashed workers) are retried per
+  :class:`~repro.core.executor.RetryPolicy`; repeat offenders are
+  quarantined rather than aborting the run.
 * **Cached** — each result embeds a content hash of experiment name +
   run kwargs + package version.  Re-runs over the same results
   directory skip artifacts whose hash matches (``use_cache=False`` or
@@ -39,12 +42,20 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro import __version__
 from repro.analysis.storage import (
+    CorruptResultError,
     PathLike,
     SummaryIndex,
     atomic_write_json,
     content_key,
+    load_checked_json,
+    quarantine_corrupt,
 )
-from repro.core.executor import error_entry, map_tasks, to_jsonable
+from repro.core.executor import (
+    RetryPolicy,
+    error_entry,
+    supervise_tasks,
+    to_jsonable,
+)
 from repro.experiments import registry
 from repro.obs.log import get_logger
 
@@ -111,12 +122,28 @@ def _execute_callable(name: str, runner: Callable[[], Any]) -> Dict[str, Any]:
 
 
 def _cached_payload(path: Path, key: str) -> Optional[Dict[str, Any]]:
-    """Return the previously persisted payload iff it matches ``key``."""
+    """Return the previously persisted payload iff it matches ``key``.
+
+    An unparseable or checksum-mismatched file is moved to a
+    ``*.corrupt`` sidecar (and the experiment re-run) instead of being
+    silently ignored in place.
+    """
     if not path.exists():
         return None
     try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+        payload = load_checked_json(path)
+    except OSError:
+        return None
+    except CorruptResultError as exc:
+        sidecar = quarantine_corrupt(path)
+        get_logger().warning(
+            "suite.corrupt_result",
+            file=path.name,
+            reason=exc.reason,
+            sidecar=sidecar.name,
+        )
+        return None
+    if not isinstance(payload, dict):
         return None
     if payload.get("cache_key") != key or payload.get("status") != "ok":
         return None
@@ -146,6 +173,9 @@ def _summary_entry(payload: Dict[str, Any], path: Path) -> Dict[str, Any]:
     }
     if payload["status"] == "error":
         entry["error"] = dict(payload["error"])
+    elif payload["status"] == "quarantined":
+        entry["error"] = dict(payload.get("error", {}))
+        entry["attempts"] = len(payload.get("attempts", []))
     else:
         entry["file"] = path.name
         entry["elapsed_seconds"] = payload.get("elapsed_seconds", 0.0)
@@ -161,6 +191,8 @@ def run_suite(
     scale: str = "quick",
     use_cache: bool = True,
     force: bool = False,
+    retries: int = 2,
+    timeout: Optional[float] = None,
 ) -> Dict[str, Path]:
     """Run each named experiment and persist its result.
 
@@ -186,7 +218,16 @@ def run_suite(
         reported as ``"cached"``.  ``force=True`` re-runs them and
         refreshes their cache entries; ``use_cache=False`` bypasses the
         cache entirely — results are neither read from nor written to
-        it, so later cached runs re-execute them.
+        it, so later cached runs re-execute them.  Cache files that
+        fail validation are quarantined to ``*.corrupt`` sidecars and
+        their experiments re-run.
+    retries / timeout:
+        Resilience knobs forwarded to the supervising executor
+        (:class:`~repro.core.executor.RetryPolicy`): transient-failure
+        retry budget per experiment, and the per-attempt wall-clock
+        deadline in seconds (pool mode only).  Experiments that exhaust
+        the budget appear as ``"quarantined"`` entries in
+        ``summary.json``.
 
     Returns a mapping of experiment name -> written JSON path for every
     artifact that succeeded (fresh or cached).  Failures never abort
@@ -255,14 +296,37 @@ def run_suite(
         pooled.append((name, spec.module, kwargs, key if use_cache else None))
 
     tasks = [
-        ((name, key), (name, module, kwargs))
-        for name, module, kwargs, key in pooled
+        # Key on the name alone: it is unique within a suite and gives
+        # fault plans a stable, human-addressable task id ("fig10").
+        (name, (name, module, kwargs))
+        for name, module, kwargs, _key in pooled
     ]
-    for (name, key), payload in map_tasks(_execute_spec, tasks, jobs=jobs):
-        finish(name, payload, key)
+    keys = {name: key for name, _module, _kwargs, key in pooled}
+    policy = RetryPolicy(retries=retries, timeout=timeout)
 
-    for name, runner in inline:
-        finish(name, _execute_callable(name, runner), None)
+    def on_supervise_event(event: str, fields: Dict[str, Any]) -> None:
+        log.info(f"suite.{event.split('.', 1)[-1]}", **fields)
+
+    try:
+        for name, payload in supervise_tasks(
+            _execute_spec,
+            tasks,
+            jobs=jobs,
+            policy=policy,
+            on_event=on_supervise_event,
+        ):
+            finish(name, payload, keys[name])
+
+        for name, runner in inline:
+            finish(name, _execute_callable(name, runner), None)
+    except KeyboardInterrupt:
+        # The supervisor tore the pool down on the way out; the index
+        # already records everything that completed.
+        log.warning(
+            "suite.interrupted", completed=len(written), total=len(names)
+        )
+        index.flush()
+        raise
 
     return written
 

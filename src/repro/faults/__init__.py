@@ -1,0 +1,65 @@
+"""Deterministic fault injection for the orchestration layers.
+
+The resilience machinery in :mod:`repro.core.executor` — retries,
+deadlines, pool rebuilds, quarantine — is only trustworthy if it is
+exercised by *real* faults: workers that raise, hang, die with
+``os._exit``, or corrupt what they persist.  This package turns those
+faults into declarative, seeded **fault plans** injected at two
+env-gated hook points:
+
+* the **worker boundary** — :func:`fire`, called by the supervisor's
+  worker wrapper with the task's canonical id and attempt number
+  before the real work runs;
+* the **storage boundary** — :func:`mangle_output`, called by
+  :func:`repro.analysis.storage.atomic_write_json` with the file name
+  and serialized bytes before they hit disk.
+
+Both hooks are dormant unless the ``REPRO_FAULT_PLAN`` environment
+variable names a plan (a JSON file path, or inline JSON starting with
+``{``), so production runs pay one ``os.environ`` lookup and nothing
+else.  Plans are deterministic by construction: rules match on stable
+task ids (``fnmatch`` patterns) and explicit attempt numbers, never on
+wall-clock or per-process counters, so a chaos run injects the same
+faults wherever its tasks execute.
+
+Example plan — every scenario's trial 0 raises a transient fault once,
+trial 1 kills its worker process once, trial 2 hangs into the deadline
+once::
+
+    {"rules": [
+        {"action": "raise", "match": "*:0", "attempts": [0]},
+        {"action": "crash", "match": "*:1", "attempts": [0]},
+        {"action": "hang",  "match": "*:2", "attempts": [0], "seconds": 60}
+    ]}
+
+Under ``supervise_tasks(policy=RetryPolicy(retries=2, timeout=2))``
+such a campaign converges — retries and pool rebuilds recover every
+trial — and its scenario aggregates are byte-identical to a fault-free
+run (the chaos leg in ``scripts/verify.sh`` asserts exactly that).
+"""
+
+from repro.faults.plan import (
+    FAULT_ACTIONS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedBug,
+    InjectedFault,
+    active_plan,
+    clear_plan_cache,
+    fire,
+    mangle_output,
+)
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedBug",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan_cache",
+    "fire",
+    "mangle_output",
+]

@@ -1,0 +1,291 @@
+"""Seeded fault plans and the env-gated injection hooks.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` records, each
+naming an *action*, an ``fnmatch`` *pattern* over the canonical task id
+(worker-boundary actions) or file name (storage-boundary ``corrupt``),
+and — for worker actions — the explicit *attempt numbers* the fault
+fires on.  Matching is purely structural: no wall-clock, no
+per-process counters, no unseeded randomness, so a plan injects the
+same faults regardless of pool width, scheduling, or host.
+
+Actions
+-------
+``raise``
+    Raise :class:`InjectedFault` (a
+    :class:`repro.core.executor.TransientError` — retried by the
+    supervisor) or, with ``"transient": false``, :class:`InjectedBug`
+    (deterministic — recorded, never retried).
+``hang``
+    Sleep ``seconds`` (default 3600) before running the task — long
+    enough to blow any sane deadline, so the supervisor's timeout path
+    kills the worker and rebuilds the pool.
+``crash``
+    ``os._exit(23)``: the worker process dies without cleanup,
+    breaking the process pool — the supervisor's rebuild/requeue path.
+``delay``
+    Sleep ``seconds`` (default 0.05) and then run normally — delayed
+    completion without failure (reordering stress).
+``corrupt``
+    Storage-boundary action: mangle the serialized JSON document
+    before it reaches disk (``mode``: ``truncate`` / ``garble`` /
+    ``zero``) for files whose *name* matches the pattern — feeds the
+    resume-time corruption-quarantine machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.executor import FAULT_PLAN_ENV, TransientError
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_PLAN_ENV",
+    "CORRUPT_MODES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedBug",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan_cache",
+    "fire",
+    "mangle_output",
+]
+
+#: Worker-boundary actions (matched on task id + attempt) and the
+#: storage-boundary one (matched on file name).
+WORKER_ACTIONS = ("raise", "hang", "crash", "delay")
+FAULT_ACTIONS = WORKER_ACTIONS + ("corrupt",)
+
+CORRUPT_MODES = ("truncate", "garble", "zero")
+
+#: Exit status used by the ``crash`` action — distinctive in waitpid
+#: logs, meaningless to the supervisor (any hard death breaks the pool).
+CRASH_EXIT_STATUS = 23
+
+
+class InjectedFault(TransientError):
+    """A plan-injected *transient* failure (supervisor retries it)."""
+
+
+class InjectedBug(RuntimeError):
+    """A plan-injected *deterministic* failure (never retried)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault: action + pattern + firing attempts."""
+
+    action: str
+    match: str = "*"
+    attempts: Tuple[int, ...] = (0,)
+    seconds: Optional[float] = None
+    transient: bool = True
+    mode: str = "truncate"
+
+    def validate(self) -> "FaultRule":
+        """Check every knob, returning ``self`` for chaining."""
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; have {list(FAULT_ACTIONS)}"
+            )
+        if not self.match:
+            raise ValueError("fault rule needs a non-empty match pattern")
+        if any(a < 0 for a in self.attempts):
+            raise ValueError("fault rule attempts must be >= 0")
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("fault rule seconds must be >= 0")
+        if self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"unknown corrupt mode {self.mode!r}; have {list(CORRUPT_MODES)}"
+            )
+        return self
+
+    @property
+    def sleep_seconds(self) -> float:
+        if self.seconds is not None:
+            return self.seconds
+        return 3600.0 if self.action == "hang" else 0.05
+
+    def matches_task(self, task_id: str, attempt: int) -> bool:
+        """True when this worker-side rule fires for (task, attempt)."""
+        return (
+            self.action in WORKER_ACTIONS
+            and attempt in self.attempts
+            and fnmatchcase(task_id, self.match)
+        )
+
+    def matches_file(self, name: str) -> bool:
+        """True when this corrupt rule fires for the output file name."""
+        return self.action == "corrupt" and fnmatchcase(name, self.match)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to the JSON rule shape, omitting defaults."""
+        doc: Dict[str, Any] = {"action": self.action, "match": self.match}
+        if self.action in WORKER_ACTIONS:
+            doc["attempts"] = list(self.attempts)
+        if self.seconds is not None:
+            doc["seconds"] = self.seconds
+        if not self.transient:
+            doc["transient"] = False
+        if self.action == "corrupt" and self.mode != "truncate":
+            doc["mode"] = self.mode
+        return doc
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "FaultRule":
+        known = {"action", "match", "attempts", "seconds", "transient", "mode"}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault rule keys: {unknown}; have {sorted(known)}"
+            )
+        if "action" not in spec:
+            raise ValueError("fault rule needs an 'action' key")
+        attempts = spec.get("attempts", (0,))
+        if isinstance(attempts, int):
+            attempts = (attempts,)
+        return cls(
+            action=str(spec["action"]),
+            match=str(spec.get("match", "*")),
+            attempts=tuple(int(a) for a in attempts),
+            seconds=(
+                float(spec["seconds"]) if spec.get("seconds") is not None else None
+            ),
+            transient=bool(spec.get("transient", True)),
+            mode=str(spec.get("mode", "truncate")),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules (plus a seed reserved for future
+    probabilistic rules; everything today is structurally matched)."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def validate(self) -> "FaultPlan":
+        """Validate every rule, returning ``self`` for chaining."""
+        for rule in self.rules:
+            rule.validate()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to the JSON plan shape, omitting defaults."""
+        doc: Dict[str, Any] = {"rules": [r.to_dict() for r in self.rules]}
+        if self.seed:
+            doc["seed"] = self.seed
+        return doc
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "FaultPlan":
+        known = {"rules", "seed"}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan keys: {unknown}; have {sorted(known)}"
+            )
+        rules = spec.get("rules", ())
+        if not isinstance(rules, (list, tuple)):
+            raise ValueError("fault plan 'rules' must be a list")
+        return cls(
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+            seed=int(spec.get("seed", 0)),
+        ).validate()
+
+    @classmethod
+    def loads(cls, source: str) -> "FaultPlan":
+        """Parse a plan from inline JSON or a JSON file path."""
+        text = source
+        if not source.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise ValueError("fault plan must be a JSON object")
+        return cls.from_dict(spec)
+
+    # ------------------------------------------------------------------
+    def worker_rules(self, task_id: str, attempt: int) -> List[FaultRule]:
+        """Worker-side rules that fire for (task, attempt), in order."""
+        return [r for r in self.rules if r.matches_task(task_id, attempt)]
+
+    def file_rules(self, name: str) -> List[FaultRule]:
+        """Corrupt rules that fire for the output file name, in order."""
+        return [r for r in self.rules if r.matches_file(name)]
+
+
+# ----------------------------------------------------------------------
+# Env-gated hook points
+# ----------------------------------------------------------------------
+#: (env value -> parsed plan) cache; one parse per process per value.
+_plan_cache: Dict[str, FaultPlan] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop the parsed-plan cache (tests that rewrite the env/plan)."""
+    _plan_cache.clear()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan named by ``REPRO_FAULT_PLAN``, or None when unset."""
+    source = os.environ.get(FAULT_PLAN_ENV)
+    if not source:
+        return None
+    plan = _plan_cache.get(source)
+    if plan is None:
+        plan = FaultPlan.loads(source)
+        _plan_cache[source] = plan
+    return plan
+
+
+def fire(task_id: str, attempt: int) -> None:
+    """Worker-boundary hook: apply every matching worker rule in order.
+
+    ``raise``/``crash`` terminate the attempt outright; ``hang`` and
+    ``delay`` sleep and fall through to the next rule (and ultimately
+    the real task).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for rule in plan.worker_rules(task_id, attempt):
+        if rule.action == "raise":
+            message = f"injected fault ({task_id} attempt {attempt})"
+            if rule.transient:
+                raise InjectedFault(message)
+            raise InjectedBug(message)
+        if rule.action == "crash":
+            os._exit(CRASH_EXIT_STATUS)
+        if rule.action in ("hang", "delay"):
+            time.sleep(rule.sleep_seconds)
+
+
+def mangle_output(name: str, text: str) -> str:
+    """Storage-boundary hook: corrupt serialized output per the plan.
+
+    Called by the atomic JSON writer with the destination *file name*
+    and the serialized document; returns the (possibly mangled) bytes
+    to persist.  Identity when no ``corrupt`` rule matches.
+    """
+    plan = active_plan()
+    if plan is None:
+        return text
+    for rule in plan.file_rules(name):
+        if rule.mode == "truncate":
+            text = text[: max(0, len(text) // 2)]
+        elif rule.mode == "garble":
+            text = text[:-2] + "#corrupt#" if len(text) > 2 else "#corrupt#"
+        elif rule.mode == "zero":
+            text = ""
+    return text

@@ -1,0 +1,163 @@
+"""Campaign-level resilience: corruption recovery, quarantine, interrupts."""
+
+import json
+
+import pytest
+
+from repro.analysis.storage import attach_checksum, verify_checksum
+from repro.campaigns import trials as trials_mod
+from repro.campaigns.grid import expand_grid
+from repro.campaigns.trials import load_scenario_result, run_campaign
+from repro.obs.heartbeat import last_run, read_heartbeat, summarize
+
+pytestmark = pytest.mark.smoke
+
+AXES = {"attack": ["selftest"], "nbo": [64]}
+
+
+def _scenario_path(result):
+    (path,) = result.paths.values()
+    return path
+
+
+def _events(tmp_path):
+    return [r["event"] for r in read_heartbeat(tmp_path)]
+
+
+# ----------------------------------------------------------------------
+# Checksummed scenario documents
+# ----------------------------------------------------------------------
+def test_scenario_documents_carry_valid_checksums(tmp_path):
+    result = run_campaign(expand_grid(AXES), tmp_path, trials=2, jobs=1)
+    doc = load_scenario_result(_scenario_path(result))
+    assert verify_checksum(doc) is True
+
+
+# ----------------------------------------------------------------------
+# Resume-time corruption recovery
+# ----------------------------------------------------------------------
+def _corrupt_truncate(path):
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+
+def _corrupt_bad_json(path):
+    path.write_text("{definitely not json")
+
+
+def _corrupt_checksum_mismatch(path):
+    # Valid JSON, valid shape, stale checksum: a bit flip in a metric.
+    doc = json.loads(path.read_text())
+    doc["trials"][0]["metrics"]["value"] += 1.0
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [_corrupt_truncate, _corrupt_bad_json, _corrupt_checksum_mismatch],
+    ids=["truncated", "bad-json", "checksum-mismatch"],
+)
+def test_corrupt_scenario_file_is_quarantined_and_rerun(tmp_path, corrupt):
+    scenarios = expand_grid(AXES)
+    first = run_campaign(scenarios, tmp_path, trials=2, jobs=1, seed=0)
+    path = _scenario_path(first)
+    pristine = json.loads(path.read_text())
+    corrupt(path)
+
+    resumed = run_campaign(
+        scenarios, tmp_path, trials=2, jobs=1, seed=0, resume=True
+    )
+    # Not trusted as a cache hit: the scenario re-ran...
+    assert list(resumed.statuses.values()) == ["ok"]
+    # ...the damaged file was preserved as a sidecar...
+    sidecar = path.with_name(path.name + ".corrupt")
+    assert sidecar.exists()
+    # ...the re-run regenerated identical results (same seeds)...
+    regenerated = json.loads(path.read_text())
+    assert regenerated["metrics"] == pristine["metrics"]
+    assert verify_checksum(regenerated) is True
+    # ...and the recovery is visible in the heartbeat.
+    assert "scenario.corrupt" in _events(tmp_path)
+
+
+def test_intact_checksummed_file_still_resumes_as_cache_hit(tmp_path):
+    scenarios = expand_grid(AXES)
+    run_campaign(scenarios, tmp_path, trials=2, jobs=1, seed=0)
+    resumed = run_campaign(
+        scenarios, tmp_path, trials=2, jobs=1, seed=0, resume=True
+    )
+    assert list(resumed.statuses.values()) == ["cached"]
+
+
+def test_legacy_document_without_checksum_is_accepted(tmp_path):
+    # Pre-checksum result files must stay resumable, not be quarantined.
+    scenarios = expand_grid(AXES)
+    first = run_campaign(scenarios, tmp_path, trials=2, jobs=1, seed=0)
+    path = _scenario_path(first)
+    doc = json.loads(path.read_text())
+    del doc["checksum"]
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    resumed = run_campaign(
+        scenarios, tmp_path, trials=2, jobs=1, seed=0, resume=True
+    )
+    assert list(resumed.statuses.values()) == ["cached"]
+
+
+def test_corrupt_campaign_index_is_quarantined(tmp_path):
+    scenarios = expand_grid(AXES)
+    run_campaign(scenarios, tmp_path, trials=1, jobs=1)
+    (tmp_path / "campaign.json").write_text("{broken")
+    run_campaign(scenarios, tmp_path, trials=1, jobs=1, resume=True)
+    assert (tmp_path / "campaign.json.corrupt").exists()
+    rows = json.loads((tmp_path / "campaign.json").read_text())
+    assert isinstance(rows, list) and rows
+
+
+# ----------------------------------------------------------------------
+# Quarantined trials (persistent transient failure via flaky_seeds)
+# ----------------------------------------------------------------------
+def test_flaky_trial_is_quarantined_and_accounted(tmp_path):
+    scenarios = expand_grid(dict(AXES, flaky_seeds=[1]))
+    result = run_campaign(
+        scenarios, tmp_path, trials=3, jobs=1, seed=0, retries=1
+    )
+    (sid,) = result.statuses
+    assert result.statuses[sid] == "partial"
+    doc = load_scenario_result(result.paths[sid])
+    assert doc["trials_ok"] == 2
+    assert doc["trials_quarantined"] == 1
+    quarantined = doc["trials"][1]
+    assert quarantined["status"] == "quarantined"
+    assert len(quarantined["attempts"]) == 2  # retries=1 -> 2 attempts
+    assert quarantined["error"]["type"] == "TransientError"
+    events = _events(tmp_path)
+    assert "trial.retry" in events
+    assert "trial.quarantined" in events
+    # The index records the quarantine like any other failure.
+    rows = json.loads((tmp_path / "campaign.json").read_text())
+    assert rows[0]["trials_quarantined"] == 1
+    assert rows[0]["error"]["type"] == "TransientError"
+
+
+def test_health_summary_counts_recovery_events(tmp_path):
+    scenarios = expand_grid(dict(AXES, flaky_seeds=[0]))
+    run_campaign(scenarios, tmp_path, trials=2, jobs=1, seed=0, retries=2)
+    health = summarize(last_run(read_heartbeat(tmp_path)))["health"]
+    assert health["retries"] == 2
+    assert health["quarantined"] == 1
+
+
+# ----------------------------------------------------------------------
+# KeyboardInterrupt
+# ----------------------------------------------------------------------
+def test_interrupt_flushes_heartbeat_and_reraises(tmp_path, monkeypatch):
+    def interrupted_trial(spec, seed, obs_dir=None):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(trials_mod, "_execute_trial", interrupted_trial)
+    with pytest.raises(KeyboardInterrupt):
+        run_campaign(expand_grid(AXES), tmp_path, trials=2, jobs=1)
+    events = _events(tmp_path)
+    assert "campaign.interrupted" in events
+    assert "campaign.finish" not in events
+    # The index survived the abort.
+    assert (tmp_path / "campaign.json").exists()

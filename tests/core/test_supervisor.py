@@ -1,0 +1,277 @@
+"""The supervising executor: retries, deadlines, pool recovery."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.executor import (
+    DEADLINE_ERROR_TYPE,
+    FAULT_PLAN_ENV,
+    RetryPolicy,
+    TransientError,
+    error_entry,
+    map_tasks,
+    supervise_tasks,
+    task_id_of,
+)
+
+pytestmark = pytest.mark.smoke
+
+#: fast, deterministic policy for tests (no jitter, millisecond backoff)
+FAST = RetryPolicy(retries=2, backoff_base=0.001, backoff_max=0.002, jitter=0.0)
+
+
+def _double(x):
+    return {"status": "ok", "value": 2 * x}
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return {"status": "ok", "value": "slept"}
+
+
+@pytest.fixture
+def fault_plan(monkeypatch):
+    """Set an inline fault plan for the duration of one test."""
+    from repro import faults
+
+    def activate(plan: dict) -> None:
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(plan))
+        faults.clear_plan_cache()
+
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    yield activate
+    faults.clear_plan_cache()
+
+
+# ----------------------------------------------------------------------
+# error_entry (satellite regression)
+# ----------------------------------------------------------------------
+def test_error_entry_uses_the_exceptions_own_traceback():
+    # Folding a future's exception happens *outside* any active except
+    # block, where format_exc() would render the ambient (empty)
+    # context as "NoneType: None".  The entry must come from the
+    # exception object itself.
+    try:
+        raise RuntimeError("the real failure")
+    except RuntimeError as exc:
+        captured = exc
+    entry = error_entry(captured)
+    assert entry["type"] == "RuntimeError"
+    assert "RuntimeError: the real failure" in entry["traceback"]
+    assert "NoneType" not in entry["traceback"]
+
+
+def test_error_entry_marks_transient_exceptions():
+    assert error_entry(TransientError("flake"))["transient"] is True
+    assert "transient" not in error_entry(RuntimeError("bug"))
+
+
+def test_task_id_of_joins_tuple_keys():
+    assert task_id_of(("abc", 2)) == "abc:2"
+    assert task_id_of("fig10") == "fig10"
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_backoff_is_seeded_and_bounded():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter=0.25)
+    first = policy.backoff_delay("t", 1)
+    assert first == policy.backoff_delay("t", 1)  # deterministic
+    assert 0.075 <= first <= 0.125
+    assert policy.backoff_delay("t", 2) != first
+    assert policy.backoff_delay("other", 1) != first
+
+
+def test_policy_validation_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-1).validate()
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout=0).validate()
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=2.0).validate()
+
+
+# ----------------------------------------------------------------------
+# Fault-free equivalence with map_tasks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_fault_free_payloads_match_map_tasks(jobs):
+    tasks = [(i, (i,)) for i in range(4)]
+    plain = dict(map_tasks(_double, tasks, jobs=jobs))
+    supervised = dict(supervise_tasks(_double, tasks, jobs=jobs, policy=FAST))
+    assert supervised == plain
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_deterministic_failures_are_not_retried(jobs):
+    events = []
+    results = dict(
+        supervise_tasks(
+            _explode,
+            [("x", (1,)), ("y", (2,))],
+            jobs=jobs,
+            policy=FAST,
+            on_event=lambda e, f: events.append(e),
+        )
+    )
+    for payload in results.values():
+        assert payload["status"] == "error"
+        assert payload["error"]["type"] == "ValueError"
+        assert "retries" not in payload
+    assert "task.retry" not in events
+
+
+def test_duplicate_task_ids_are_rejected():
+    with pytest.raises(ValueError, match="duplicate task ids"):
+        list(supervise_tasks(_double, [("a", (1,)), ("a", (2,))], jobs=1))
+
+
+# ----------------------------------------------------------------------
+# Retry / quarantine via the fault-injection hook
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_transient_fault_is_retried_to_success(fault_plan, jobs):
+    fault_plan({"rules": [{"action": "raise", "match": "a", "attempts": [0]}]})
+    events = []
+    results = dict(
+        supervise_tasks(
+            _double,
+            [("a", (1,)), ("b", (2,))],
+            jobs=jobs,
+            policy=FAST,
+            on_event=lambda e, f: events.append((e, f)),
+        )
+    )
+    assert results["b"] == {"status": "ok", "value": 4}
+    assert results["a"]["status"] == "ok"
+    assert results["a"]["value"] == 2
+    assert results["a"]["retries"] == 1
+    assert results["a"]["attempt_errors"][0]["type"] == "InjectedFault"
+    retried = [f for e, f in events if e == "task.retry"]
+    assert len(retried) == 1 and retried[0]["task"] == "a"
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_persistent_transient_fault_is_quarantined(fault_plan, jobs):
+    fault_plan(
+        {"rules": [{"action": "raise", "match": "a", "attempts": [0, 1, 2]}]}
+    )
+    events = []
+    results = dict(
+        supervise_tasks(
+            _double,
+            [("a", (1,)), ("b", (2,))],
+            jobs=jobs,
+            policy=FAST,
+            on_event=lambda e, f: events.append(e),
+        )
+    )
+    assert results["b"]["status"] == "ok"
+    quarantined = results["a"]
+    assert quarantined["status"] == "quarantined"
+    assert len(quarantined["attempts"]) == FAST.max_attempts
+    assert quarantined["error"]["type"] == "InjectedFault"
+    assert events.count("task.retry") == FAST.retries
+    assert events.count("task.quarantined") == 1
+
+
+def test_injected_bug_is_deterministic_and_not_retried(fault_plan):
+    fault_plan(
+        {
+            "rules": [
+                {
+                    "action": "raise",
+                    "match": "a",
+                    "attempts": [0],
+                    "transient": False,
+                }
+            ]
+        }
+    )
+    results = dict(
+        supervise_tasks(_double, [("a", (1,))], jobs=1, policy=FAST)
+    )
+    assert results["a"]["status"] == "error"
+    assert results["a"]["error"]["type"] == "InjectedBug"
+    assert "retries" not in results["a"]
+
+
+# ----------------------------------------------------------------------
+# Pool recovery (worker crash, hung worker)
+# ----------------------------------------------------------------------
+def test_worker_crash_breaks_pool_and_recovers(fault_plan):
+    fault_plan({"rules": [{"action": "crash", "match": "1", "attempts": [0]}]})
+    events = []
+    tasks = [(i, (i,)) for i in range(4)]
+    results = dict(
+        supervise_tasks(
+            _double,
+            tasks,
+            jobs=2,
+            policy=FAST,
+            on_event=lambda e, f: events.append(e),
+        )
+    )
+    assert set(results) == set(range(4))
+    for i in range(4):
+        assert results[i]["status"] == "ok"
+        assert results[i]["value"] == 2 * i
+    assert events.count("pool.rebuild") >= 1
+
+
+def test_hung_worker_hits_deadline_and_is_quarantined():
+    policy = RetryPolicy(
+        retries=0, timeout=0.4, backoff_base=0.001, jitter=0.0
+    )
+    events = []
+    tasks = [("hang", (30,)), ("fast", (0.01,))]
+    results = dict(
+        supervise_tasks(
+            _sleepy,
+            tasks,
+            jobs=2,
+            policy=policy,
+            on_event=lambda e, f: events.append(e),
+        )
+    )
+    assert results["fast"]["status"] == "ok"
+    assert results["hang"]["status"] == "quarantined"
+    assert results["hang"]["error"]["type"] == DEADLINE_ERROR_TYPE
+    assert "task.timeout" in events
+    assert "pool.rebuild" in events
+
+
+def test_hung_worker_recovers_within_retry_budget(fault_plan):
+    # The hang comes from the plan (attempt 0 only), so the retry runs
+    # clean: deadline -> kill -> rebuild -> retry -> success.
+    fault_plan(
+        {
+            "rules": [
+                {
+                    "action": "hang",
+                    "match": "a",
+                    "attempts": [0],
+                    "seconds": 30,
+                }
+            ]
+        }
+    )
+    policy = RetryPolicy(
+        retries=1, timeout=0.4, backoff_base=0.001, jitter=0.0
+    )
+    results = dict(
+        supervise_tasks(
+            _double, [("a", (1,)), ("b", (2,))], jobs=2, policy=policy
+        )
+    )
+    assert results["a"]["status"] == "ok"
+    assert results["a"]["value"] == 2
+    assert results["a"]["retries"] == 1
+    assert results["b"] == {"status": "ok", "value": 4}

@@ -197,3 +197,83 @@ def test_scale_feeds_the_cache_key():
         for scale in registry.SCALES
     }
     assert len(keys) == 2
+
+
+# ----------------------------------------------------------------------
+# Resilience: corrupt caches, retries, quarantine, interrupts
+# ----------------------------------------------------------------------
+def test_corrupt_cache_file_is_quarantined_and_rerun(tmp_path):
+    run_suite(tmp_path, experiments=["fig8"])
+    (tmp_path / "fig8.json").write_text("{not json at all")
+    written = run_suite(tmp_path, experiments=["fig8"])
+    assert (tmp_path / "fig8.json.corrupt").exists()
+    payload = load_result(written["fig8"])
+    assert payload["status"] == "ok" and "cache_key" in payload
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "ok"  # re-ran, not "cached"
+
+
+def test_transient_failure_is_retried_via_fault_plan(tmp_path, monkeypatch):
+    import json as json_mod
+
+    from repro import faults
+    from repro.core.executor import FAULT_PLAN_ENV
+
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        json_mod.dumps(
+            {"rules": [{"action": "raise", "match": "fig8", "attempts": [0]}]}
+        ),
+    )
+    faults.clear_plan_cache()
+    try:
+        written = run_suite(tmp_path, experiments=["fig8"], use_cache=False)
+    finally:
+        faults.clear_plan_cache()
+    payload = load_result(written["fig8"])
+    assert payload["status"] == "ok"
+    assert payload["retries"] == 1
+    assert payload["attempt_errors"][0]["type"] == "InjectedFault"
+
+
+def test_exhausted_retries_quarantine_the_experiment(tmp_path, monkeypatch):
+    import json as json_mod
+
+    from repro import faults
+    from repro.core.executor import FAULT_PLAN_ENV
+
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        json_mod.dumps(
+            {
+                "rules": [
+                    {"action": "raise", "match": "fig8", "attempts": [0, 1]}
+                ]
+            }
+        ),
+    )
+    faults.clear_plan_cache()
+    try:
+        written = run_suite(
+            tmp_path, experiments=["fig8"], use_cache=False, retries=1
+        )
+    finally:
+        faults.clear_plan_cache()
+    assert "fig8" not in written
+    summary = {e["experiment"]: e for e in load_summary(tmp_path)}
+    assert summary["fig8"]["status"] == "quarantined"
+    assert summary["fig8"]["attempts"] == 2
+    assert summary["fig8"]["error"]["type"] == "InjectedFault"
+
+
+def test_interrupted_suite_reraises_with_consistent_index(tmp_path, monkeypatch):
+    from repro.experiments import runner as runner_mod
+
+    def interrupted(name, module, kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_mod, "_execute_spec", interrupted)
+    with pytest.raises(KeyboardInterrupt):
+        run_suite(tmp_path, experiments=["fig8"], use_cache=False)
+    # The index is present and parseable (nothing completed).
+    assert json.loads((tmp_path / "summary.json").read_text()) == []

@@ -1,0 +1,192 @@
+"""Fault plans: parsing, matching, the env-gated hooks."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    InjectedBug,
+    InjectedFault,
+    active_plan,
+    clear_plan_cache,
+    fire,
+    mangle_output,
+)
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan(monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+# ----------------------------------------------------------------------
+# Parsing & validation
+# ----------------------------------------------------------------------
+def test_plan_roundtrips_through_dict():
+    plan = FaultPlan.from_dict(
+        {
+            "rules": [
+                {"action": "raise", "match": "*:0", "attempts": [0, 1]},
+                {"action": "hang", "match": "*:2", "seconds": 60},
+                {"action": "corrupt", "match": "scenario-*.json", "mode": "garble"},
+            ]
+        }
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_loads_accepts_inline_json_and_file_paths(tmp_path):
+    spec = {"rules": [{"action": "delay", "match": "a", "seconds": 0.0}]}
+    inline = FaultPlan.loads(json.dumps(spec))
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(spec))
+    assert FaultPlan.loads(str(path)) == inline
+    assert inline.rules[0].action == "delay"
+
+
+def test_single_attempt_int_is_coerced_to_tuple():
+    rule = FaultRule.from_dict({"action": "raise", "attempts": 1})
+    assert rule.attempts == (1,)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        {"action": "nuke"},
+        {"action": "raise", "typo": True},
+        {"action": "raise", "attempts": [-1]},
+        {"action": "hang", "seconds": -5},
+        {"action": "corrupt", "mode": "scribble"},
+    ],
+)
+def test_invalid_rules_raise(spec):
+    with pytest.raises(ValueError):
+        FaultRule.from_dict(spec)
+
+
+def test_invalid_plan_json_raises():
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.loads("{nope")
+    with pytest.raises(ValueError, match="unknown fault plan keys"):
+        FaultPlan.from_dict({"rule": []})
+
+
+# ----------------------------------------------------------------------
+# Matching
+# ----------------------------------------------------------------------
+def test_worker_rules_match_task_id_and_attempt():
+    plan = FaultPlan.loads(
+        '{"rules": [{"action": "raise", "match": "*:0", "attempts": [1]}]}'
+    )
+    assert plan.worker_rules("abc:0", 1)
+    assert not plan.worker_rules("abc:0", 0)  # wrong attempt
+    assert not plan.worker_rules("abc:1", 1)  # wrong id
+    assert not plan.file_rules("abc:0")  # raise is not a file action
+
+
+# ----------------------------------------------------------------------
+# Env gating
+# ----------------------------------------------------------------------
+def test_active_plan_is_none_without_env():
+    assert active_plan() is None
+    fire("anything", 0)  # no-op, must not raise
+
+
+def test_active_plan_reads_and_caches_env(monkeypatch):
+    spec = '{"rules": [{"action": "raise", "match": "x", "attempts": [0]}]}'
+    monkeypatch.setenv(FAULT_PLAN_ENV, spec)
+    clear_plan_cache()
+    plan = active_plan()
+    assert plan is not None and active_plan() is plan  # cached
+    assert faults.FAULT_PLAN_ENV == FAULT_PLAN_ENV
+
+
+# ----------------------------------------------------------------------
+# fire()
+# ----------------------------------------------------------------------
+def test_fire_raises_transient_or_deterministic(monkeypatch):
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        json.dumps(
+            {
+                "rules": [
+                    {"action": "raise", "match": "flaky", "attempts": [0]},
+                    {
+                        "action": "raise",
+                        "match": "buggy",
+                        "attempts": [0],
+                        "transient": False,
+                    },
+                ]
+            }
+        ),
+    )
+    clear_plan_cache()
+    with pytest.raises(InjectedFault):
+        fire("flaky", 0)
+    with pytest.raises(InjectedBug):
+        fire("buggy", 0)
+    fire("flaky", 1)  # attempt 1 unmatched: no-op
+    fire("other", 0)  # id unmatched: no-op
+
+
+def test_fire_delay_sleeps_then_returns(monkeypatch):
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        '{"rules": [{"action": "delay", "match": "a", "attempts": [0],'
+        ' "seconds": 0.0}]}',
+    )
+    clear_plan_cache()
+    fire("a", 0)  # returns normally
+
+
+# ----------------------------------------------------------------------
+# mangle_output()
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mode,check",
+    [
+        ("truncate", lambda out, src: len(out) == len(src) // 2),
+        ("garble", lambda out, src: out.endswith("#corrupt#")),
+        ("zero", lambda out, src: out == ""),
+    ],
+)
+def test_mangle_output_modes(monkeypatch, mode, check):
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        json.dumps(
+            {"rules": [{"action": "corrupt", "match": "*.json", "mode": mode}]}
+        ),
+    )
+    clear_plan_cache()
+    source = '{"a": 1, "b": [2, 3]}\n'
+    assert check(mangle_output("result.json", source), source)
+    assert mangle_output("trace.jsonl", source) == source  # unmatched
+
+
+def test_mangled_json_fails_checksum_or_parse(monkeypatch, tmp_path):
+    from repro.analysis.storage import (
+        CorruptResultError,
+        atomic_write_json,
+        attach_checksum,
+        load_checked_json,
+    )
+
+    monkeypatch.setenv(
+        FAULT_PLAN_ENV,
+        '{"rules": [{"action": "corrupt", "match": "doomed.json"}]}',
+    )
+    clear_plan_cache()
+    doc = attach_checksum({"metrics": {"x": 1.0}})
+    path = atomic_write_json(tmp_path / "doomed.json", doc)
+    with pytest.raises(CorruptResultError):
+        load_checked_json(path)

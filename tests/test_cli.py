@@ -238,3 +238,59 @@ def test_verbosity_flags_are_global_and_exclusive(capsys):
     with pytest.raises(SystemExit):
         main(["--verbose", "--quiet", "list"])
     capsys.readouterr()
+
+
+def test_retries_and_timeout_accepted_for_suite_and_campaign(tmp_path, capsys):
+    code = main([
+        "suite", "--only", "fig7", "--out", str(tmp_path),
+        "--retries", "0", "--timeout", "300",
+    ])
+    assert code == 0
+    capsys.readouterr()
+    code = main([
+        "campaign", "--grid", "attack=selftest", "--out", str(tmp_path / "c"),
+        "--trials", "1", "--jobs", "1", "--retries", "1", "--timeout", "60",
+    ])
+    assert code == 0
+
+
+def test_retries_and_timeout_rejected_on_other_commands(capsys):
+    for command in ("bench", "fig7", "fig10"):
+        assert main([command, "--retries", "2"]) == 2
+        assert "--retries" in capsys.readouterr().err
+        assert main([command, "--timeout", "5"]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+
+def test_invalid_retry_and_timeout_values_exit_2(capsys):
+    assert main(["suite", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+    assert main(["campaign", "--grid", "attack=selftest", "--timeout", "0"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+
+
+def test_interrupted_suite_exits_130(tmp_path, capsys, monkeypatch):
+    from repro.experiments import runner as runner_mod
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_mod, "run_suite", interrupted)
+    code = main(["suite", "--only", "fig7", "--out", str(tmp_path)])
+    assert code == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_interrupted_campaign_exits_130(tmp_path, capsys, monkeypatch):
+    from repro import campaigns as campaigns_mod
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(campaigns_mod, "run_campaign", interrupted)
+    code = main([
+        "campaign", "--grid", "attack=selftest", "--out", str(tmp_path),
+        "--trials", "1",
+    ])
+    assert code == 130
+    assert "interrupted" in capsys.readouterr().err
