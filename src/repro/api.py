@@ -1,0 +1,71 @@
+"""The curated public facade of the reproduction.
+
+Everything an experiment, test or downstream script needs to assemble
+and sweep simulated systems is re-exported here under one stable,
+deliberately small ``__all__``:
+
+* **Assembly** — :class:`SystemConfig` (the declarative spec, with its
+  :data:`COMPONENT_AXES` / :meth:`SystemConfig.component` uniform
+  component accessors), :func:`build_system` (design point + traces ->
+  ready :class:`~repro.cpu.system.System`) and :class:`DesignPoint`.
+* **Sweeping** — :class:`Scenario`, :func:`expand_grid`,
+  :func:`run_campaign`, :func:`run_trial`.
+* **Registries** — :data:`SCHEDULERS`, :data:`MAPPINGS`,
+  :data:`REFRESH_POLICIES`, :data:`CACHES`, :data:`INTERCONNECTS` and
+  :data:`MITIGATIONS`: the single source of truth for what each
+  component axis can spell.
+
+Import from here (``from repro.api import SystemConfig, build_system``)
+instead of deep-importing construction internals; the internal module
+layout may shift between revisions, this surface does not (see
+``docs/api.md`` for the stability note).
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.grid import expand_grid, parse_grid_tokens
+from repro.campaigns.runners import run_trial
+from repro.campaigns.scenario import ATTACK_KINDS, Scenario
+from repro.campaigns.trials import run_campaign
+from repro.config import (
+    COMPONENT_AXES,
+    DEFAULT_SYSTEM,
+    SystemConfig,
+    component_registries,
+)
+from repro.controller.memory_system import MemorySystem
+from repro.controller.scheduler import SCHEDULERS
+from repro.cpu.hierarchy import CACHES
+from repro.cpu.interconnect import INTERCONNECTS
+from repro.cpu.system import System, SystemResult
+from repro.dram.address import MAPPINGS
+from repro.dram.refresh import REFRESH_POLICIES
+from repro.experiments.common import DesignPoint, build_system
+from repro.mitigations import MITIGATIONS
+
+__all__ = [
+    # assembly
+    "SystemConfig",
+    "DEFAULT_SYSTEM",
+    "COMPONENT_AXES",
+    "component_registries",
+    "DesignPoint",
+    "build_system",
+    "System",
+    "SystemResult",
+    "MemorySystem",
+    # sweeping
+    "Scenario",
+    "ATTACK_KINDS",
+    "expand_grid",
+    "parse_grid_tokens",
+    "run_trial",
+    "run_campaign",
+    # registries
+    "SCHEDULERS",
+    "MAPPINGS",
+    "REFRESH_POLICIES",
+    "CACHES",
+    "INTERCONNECTS",
+    "MITIGATIONS",
+]

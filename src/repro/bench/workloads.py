@@ -16,6 +16,10 @@ Workloads:
   (one controller + TPRAC instance per channel, cache lines striped
   across channels); tracks the cost of the multi-channel wake/dispatch
   machinery.
+* ``perf_cached`` — the multi-core shape issued through the L1/L2
+  cache hierarchy and a fixed-latency interconnect
+  (``SystemConfig(cache="l1l2", interconnect="fixed")``); tracks the
+  event-driven cache front-end's per-request cost.
 * ``campaign_smoke`` — one pinned Monte Carlo ``perf`` trial through
   :func:`repro.campaigns.runners.run_trial` (the campaign engine's
   whole code path: scenario validation, policy construction, paired
@@ -50,7 +54,9 @@ class Measurement:
     unit: str              # name of the workload-specific unit
 
 
-def _system_measurement(cores: int, requests: int, channels: int = 1) -> Measurement:
+def _system_measurement(
+    cores: int, requests: int, channels: int = 1, **system_axes: object
+) -> Measurement:
     from repro.config import SystemConfig
     from repro.experiments.common import DesignPoint, build_system, homogeneous_traces
 
@@ -60,7 +66,7 @@ def _system_measurement(cores: int, requests: int, channels: int = 1) -> Measure
     system = build_system(
         DesignPoint(design="tprac", nrh=1024),
         traces,
-        system=SystemConfig(channels=channels),
+        system=SystemConfig(channels=channels, **system_axes),  # type: ignore[arg-type]
     )
     started = time.perf_counter()
     result = system.run()
@@ -87,6 +93,18 @@ def _perf_single_core() -> Measurement:
 def _perf_multi_channel() -> Measurement:
     """4-core 433.milc across 2 channels, TPRAC @ N_RH=1024 per channel."""
     return _system_measurement(cores=4, requests=800, channels=2)
+
+
+def _perf_cached() -> Measurement:
+    """The multi-core shape behind the L1/L2 hierarchy + fixed link.
+
+    Tracks the event-driven cache front-end's cost: every request pays
+    an L1 (and usually L2 + MSHR) traversal before DRAM, so regressions
+    in the hierarchy's hot path show up here and nowhere else.
+    """
+    return _system_measurement(
+        cores=4, requests=800, cache="l1l2", interconnect="fixed"
+    )
 
 
 def _campaign_smoke() -> Measurement:
@@ -200,6 +218,11 @@ WORKLOADS: Dict[str, BenchWorkload] = {
             name="perf_multi_channel",
             title="4-core 433.milc, 2 channels, TPRAC@1024 per channel",
             run=_perf_multi_channel,
+        ),
+        BenchWorkload(
+            name="perf_cached",
+            title="4-core 433.milc, L1/L2 hierarchy + fixed link, TPRAC@1024",
+            run=_perf_cached,
         ),
         BenchWorkload(
             name="campaign_smoke",

@@ -18,6 +18,11 @@ Usage::
         mitigation=abo_only,tprac nbo=128,256 --resume
     python -m repro.cli campaign --grid channels=1,2,4 --trials 3
     python -m repro.cli campaign --grid scheduler=fr_fcfs,fcfs mapping=linear,mop
+    python -m repro.cli fig10 --cache l1l2 --interconnect crossbar
+    python -m repro.cli campaign --grid cache=l1l2 interconnect=crossbar \\
+        scheduler=fr_fcfs,fcfs
+    python -m repro.cli campaign --grid attack=eviction_set cache=l1l2 \\
+        mitigation=abo_only,tprac --trials 5
     python -m repro.cli campaign --grid trace=true metrics=true --progress
     python -m repro.cli campaign --campaign security --timeout 120 --retries 3
     python -m repro.cli obs report results/
@@ -163,6 +168,8 @@ def _system_config(args):
             ("scheduler", args.scheduler),
             ("mapping", args.mapping),
             ("refresh", args.refresh),
+            ("cache", args.cache),
+            ("interconnect", args.interconnect),
         )
         if value is not None
     }
@@ -665,6 +672,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh policy for the perf artifacts "
              "(periodic/staggered; default periodic)",
     )
+    parser.add_argument(
+        "--cache", default=None, metavar="NAME",
+        help="cache hierarchy for the perf artifacts "
+             "(none/l1l2; default none, the direct core->DRAM wiring)",
+    )
+    parser.add_argument(
+        "--interconnect", default=None, metavar="NAME",
+        help="cache<->memory interconnect for the perf artifacts "
+             "(none/fixed/crossbar; default none)",
+    )
     shared = parser.add_argument_group("suite/campaign shared options")
     shared.add_argument(
         "--jobs", type=int, default=None,
@@ -854,6 +871,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("--scheduler", args.scheduler is not None),
             ("--mapping", args.mapping is not None),
             ("--refresh", args.refresh is not None),
+            ("--cache", args.cache is not None),
+            ("--interconnect", args.interconnect is not None),
         )
         if on
     ]

@@ -26,21 +26,57 @@ from __future__ import annotations
 
 from dataclasses import MISSING as _MISSING
 from dataclasses import dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Any, Dict, Mapping
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.scheduler import BankQueueScheduler
     from repro.core.engine import Engine
+    from repro.cpu.hierarchy import MemoryHierarchy
+    from repro.cpu.interconnect import Interconnect
     from repro.dram.address import AddressMapping
     from repro.dram.config import DramConfig, DramOrganization
     from repro.dram.rank import Channel
     from repro.dram.refresh import RefreshScheduler
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import TraceRecorder
+    from repro.registry import Registry
 
 #: The field defaults, used for default-omission in :meth:`to_dict`.
 DEFAULT_SCHEDULER = "fr_fcfs"
 DEFAULT_MAPPING = "mop"
 DEFAULT_REFRESH = "periodic"
 DEFAULT_PAGE_POLICY = "open"
+DEFAULT_CACHE = "none"
+DEFAULT_INTERCONNECT = "none"
+
+#: Every registry-backed component axis, in declaration order.  Each
+#: axis ``a`` is a pair of fields — ``a`` (the registered name) and
+#: ``a_params`` (its keyword arguments) — and one registry; the generic
+#: :meth:`SystemConfig.validate` / :meth:`SystemConfig.component` paths
+#: are driven by this table, so a future axis is one tuple entry plus
+#: its two fields, not another hand-written clause.
+COMPONENT_AXES = ("scheduler", "mapping", "refresh", "cache", "interconnect")
+
+
+def component_registries() -> Dict[str, "Registry"]:
+    """Axis name -> registry for every entry of :data:`COMPONENT_AXES`.
+
+    Resolved late on every call: the registries live next to their
+    components and the component modules import this one.
+    """
+    from repro.controller.scheduler import SCHEDULERS
+    from repro.cpu.hierarchy import CACHES
+    from repro.cpu.interconnect import INTERCONNECTS
+    from repro.dram.address import MAPPINGS
+    from repro.dram.refresh import REFRESH_POLICIES
+
+    return {
+        "scheduler": SCHEDULERS,
+        "mapping": MAPPINGS,
+        "refresh": REFRESH_POLICIES,
+        "cache": CACHES,
+        "interconnect": INTERCONNECTS,
+    }
 
 
 @dataclass(frozen=True)
@@ -60,9 +96,18 @@ class SystemConfig:
     mapping: str = DEFAULT_MAPPING
     refresh: str = DEFAULT_REFRESH
     page_policy: str = DEFAULT_PAGE_POLICY
+    #: cache hierarchy in front of the memory system
+    #: (:data:`repro.cpu.hierarchy.CACHES`); ``"none"`` is the
+    #: historical direct core -> controller wiring.
+    cache: str = DEFAULT_CACHE
+    #: interconnect between the last cache level (or the cores) and the
+    #: memory system (:data:`repro.cpu.interconnect.INTERCONNECTS`).
+    interconnect: str = DEFAULT_INTERCONNECT
     scheduler_params: Mapping[str, Any] = field(default_factory=dict)
     mapping_params: Mapping[str, Any] = field(default_factory=dict)
     refresh_params: Mapping[str, Any] = field(default_factory=dict)
+    cache_params: Mapping[str, Any] = field(default_factory=dict)
+    interconnect_params: Mapping[str, Any] = field(default_factory=dict)
     #: Attach the online DRAM protocol sanitizer
     #: (:class:`repro.dram.sanitizer.ProtocolChecker`) to every
     #: controller.  Purely observational: results are bit-identical,
@@ -86,34 +131,47 @@ class SystemConfig:
     def validate(self) -> "SystemConfig":
         """Raise ValueError on any unknown/inconsistent value.
 
-        Component names are checked against their registries, so the
-        error lists the spellings that would have worked and the field
-        that was wrong.
+        Component axes are checked generically against
+        :data:`COMPONENT_AXES`: every name goes through its registry
+        (so the error lists the spellings that would have worked and
+        the field that was wrong) and every params field must be a
+        mapping.
         """
-        # Late imports: the registries live next to the components and
-        # the component modules import this one.
-        from repro.controller.scheduler import SCHEDULERS
-        from repro.dram.address import MAPPINGS
-        from repro.dram.refresh import REFRESH_POLICIES
-
         if not isinstance(self.channels, int) or self.channels < 1:
             raise ValueError("channels must be a positive integer")
-        SCHEDULERS.get(self.scheduler)
-        MAPPINGS.get(self.mapping)
-        REFRESH_POLICIES.get(self.refresh)
+        registries = component_registries()
+        for axis in COMPONENT_AXES:
+            registries[axis].get(getattr(self, axis))
+            if not isinstance(getattr(self, axis + "_params"), Mapping):
+                raise ValueError(f"{axis}_params must be a mapping")
         if self.page_policy not in ("open", "closed"):
             raise ValueError(
                 "unknown page policy "
                 f"{self.page_policy!r} (config field 'page_policy'); "
                 "have ['closed', 'open']"
             )
-        for name in ("scheduler_params", "mapping_params", "refresh_params"):
-            if not isinstance(getattr(self, name), Mapping):
-                raise ValueError(f"{name} must be a mapping")
         for name in ("sanitize", "trace", "metrics"):
             if not isinstance(getattr(self, name), bool):
                 raise ValueError(f"{name} must be a bool")
         return self
+
+    # ------------------------------------------------------------------
+    # Uniform component specs
+    # ------------------------------------------------------------------
+    def component(self, axis: str) -> "Tuple[str, Dict[str, Any]]":
+        """``(name, params)`` spec of one registry-backed axis.
+
+        The uniform accessor over :data:`COMPONENT_AXES`:
+        ``config.component("scheduler")`` replaces reaching for the
+        ``scheduler`` / ``scheduler_params`` field pair, and an unknown
+        axis fails with the registry-style error shape.
+        """
+        if axis not in COMPONENT_AXES:
+            raise ValueError(
+                f"unknown component axis {axis!r}; "
+                f"have {sorted(COMPONENT_AXES)}"
+            )
+        return getattr(self, axis), dict(getattr(self, axis + "_params"))
 
     # ------------------------------------------------------------------
     # Component construction
@@ -149,6 +207,42 @@ class SystemConfig:
             config,
             tref_per_trefi=tref_per_trefi,
             **dict(self.refresh_params),
+        )
+
+    def make_interconnect(self) -> "Optional[Interconnect]":
+        """Build this config's interconnect (``None`` for ``"none"``)."""
+        from repro.cpu.interconnect import INTERCONNECTS
+
+        return INTERCONNECTS.make(
+            self.interconnect, **dict(self.interconnect_params)
+        )
+
+    def make_cache(
+        self,
+        engine: "Engine",
+        memory: Any,
+        num_cores: int,
+        interconnect: "Optional[Interconnect]" = None,
+        recorder: "Optional[TraceRecorder]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
+    ) -> "Optional[MemoryHierarchy]":
+        """Build this config's cache hierarchy (``None`` for ``"none"``).
+
+        ``memory`` is the downstream request sink (usually the
+        :class:`~repro.controller.memory_system.MemorySystem`);
+        ``interconnect`` routes the hierarchy's DRAM traffic when set.
+        """
+        from repro.cpu.hierarchy import CACHES
+
+        return CACHES.make(
+            self.cache,
+            engine,
+            memory,
+            num_cores,
+            interconnect=interconnect,
+            recorder=recorder,
+            metrics=metrics,
+            **dict(self.cache_params),
         )
 
     def apply_to(self, dram_config: "DramConfig") -> "DramConfig":
@@ -194,7 +288,8 @@ class SystemConfig:
                 f"unknown system config keys: {unknown}; have {sorted(known)}"
             )
         kwargs = dict(spec)
-        for name in ("scheduler_params", "mapping_params", "refresh_params"):
+        for axis in COMPONENT_AXES:
+            name = axis + "_params"
             if name in kwargs:
                 kwargs[name] = dict(kwargs[name] or {})
         return cls(**kwargs).validate()

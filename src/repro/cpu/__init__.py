@@ -10,13 +10,27 @@ sensitivity to RFM-induced channel blocking).
 
 from repro.cpu.cache import Cache, CacheHierarchy
 from repro.cpu.core import CoreParams, TraceCore
+from repro.cpu.hierarchy import CACHES, MemoryHierarchy, SetAssocCache
+from repro.cpu.interconnect import (
+    INTERCONNECTS,
+    CrossbarInterconnect,
+    FixedLatencyInterconnect,
+    Interconnect,
+)
 from repro.cpu.system import System, SystemResult
 from repro.cpu.trace import TraceRecord, synthesize_trace
 
 __all__ = [
+    "CACHES",
     "Cache",
     "CacheHierarchy",
     "CoreParams",
+    "CrossbarInterconnect",
+    "FixedLatencyInterconnect",
+    "INTERCONNECTS",
+    "Interconnect",
+    "MemoryHierarchy",
+    "SetAssocCache",
     "System",
     "SystemResult",
     "TraceCore",

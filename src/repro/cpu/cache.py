@@ -97,6 +97,30 @@ class Cache:
         self.stats.flushes += 1
         return present is not None
 
+    def install_dirty(self, phys_addr: int) -> Optional[int]:
+        """Install a written-back line from the level above, dirty.
+
+        Not a demand access: hit/miss counters are untouched.  If the
+        install displaces a dirty line, its address is returned so the
+        caller can spill it one level further down.
+        """
+        set_index, tag = self._locate(phys_addr)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            cache_set.pop(tag)
+            cache_set[tag] = True         # move to MRU, now dirty
+            return None
+        writeback = None
+        if len(cache_set) >= self.ways:
+            victim_tag, victim_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_line = victim_tag * self.num_sets + set_index
+                writeback = victim_line * self.line_bytes
+        cache_set[tag] = True
+        return writeback
+
     def invalidate_all(self) -> None:
         """Drop every line (power-on state)."""
         for cache_set in self._sets:
@@ -123,17 +147,40 @@ class CacheHierarchy:
         self.levels = [self.l1, self.l2, self.llc]
 
     def access(self, phys_addr: int, is_write: bool = False):
-        """Returns (needs_dram, latency_ns, writeback_addr)."""
+        """Returns (needs_dram, latency_ns, writebacks).
+
+        ``writebacks`` lists the physical addresses of dirty lines that
+        fell out of the hierarchy entirely and must be written to DRAM.
+        Dirty victims evicted from an inner level are installed in the
+        next level down (write-back), which may displace further dirty
+        lines — historically they were silently dropped unless they
+        came from the last level.
+        """
         latency = 0.0
-        writeback: Optional[int] = None
-        for level in self.levels:
+        writebacks: List[int] = []
+        for index, level in enumerate(self.levels):
             latency += level.latency_ns
             hit, wb = level.access(phys_addr, is_write)
-            if wb is not None and level is self.levels[-1]:
-                writeback = wb
+            if wb is not None:
+                writebacks.extend(self._spill(index + 1, wb))
             if hit:
-                return False, latency, writeback
-        return True, latency, writeback
+                return False, latency, writebacks
+        return True, latency, writebacks
+
+    def _spill(self, level_index: int, victim_addr: int) -> List[int]:
+        """Chase one dirty victim down from ``levels[level_index]``.
+
+        Installs it in each level in turn; stops when an install sticks
+        without displacing another dirty line.  Returns the addresses
+        (at most one) that fell past the last level and belong to DRAM.
+        """
+        addr = victim_addr
+        for level in self.levels[level_index:]:
+            displaced = level.install_dirty(addr)
+            if displaced is None:
+                return []
+            addr = displaced
+        return [addr]
 
     def flush(self, phys_addr: int) -> None:
         """Flush a line from every level (models clflush)."""

@@ -151,11 +151,11 @@ class TraceCore:
         needs_dram = True
         is_write = record.is_write
         if self.caches is not None:
-            needs_dram, lookup_ns, writeback = self.caches.access(
+            needs_dram, lookup_ns, writebacks = self.caches.access(
                 record.phys_addr, is_write
             )
             extra_ns += lookup_ns
-            if writeback is not None:
+            for writeback in writebacks:
                 self._issue_dram(writeback, is_write=True, count_outstanding=False)
         engine = self.engine
         if needs_dram:

@@ -15,7 +15,7 @@ identical to the historical one-controller wiring.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.controller.controller import MemoryController
@@ -23,6 +23,7 @@ from repro.controller.memory_system import MemorySystem
 from repro.core.engine import Engine
 from repro.cpu.cache import CacheHierarchy
 from repro.cpu.core import CoreParams, TraceCore
+from repro.cpu.interconnect import InterconnectFront
 from repro.cpu.trace import TraceCursor, TraceRecord
 from repro.dram.config import DramConfig, ddr5_8000b
 
@@ -56,6 +57,13 @@ class SystemResult:
     reads: int = 0
     writes: int = 0
     per_channel: List[ChannelResult] = field(default_factory=list)
+    #: cache-hierarchy counters (``SystemConfig(cache="l1l2")``):
+    #: per-level hits/misses/hit-rate/writebacks plus MSHR accounting.
+    #: ``None`` on the default direct-wired path.
+    cache: Optional[Dict[str, Any]] = None
+    #: interconnect counters (``SystemConfig(interconnect=...)``):
+    #: transfers/queued/wait/occupancy.  ``None`` when direct-wired.
+    interconnect: Optional[Dict[str, Any]] = None
 
     @property
     def total_ipc(self) -> float:
@@ -98,12 +106,34 @@ class System:
         # The memory system may have projected the declarative system
         # (channel count) onto the device config; adopt its view.
         self.config = self.memory.config
+        # Optional cache hierarchy / interconnect front-end between the
+        # cores and the memory system.  On the default config both are
+        # "none": nothing is constructed and the cores keep enqueueing
+        # straight into the facade, byte-identical to the direct wiring.
+        sysconf = self.memory.system
+        self.interconnect = sysconf.make_interconnect()
+        self.hierarchy = sysconf.make_cache(
+            self.engine,
+            self.memory,
+            num_cores=len(traces),
+            interconnect=self.interconnect,
+            recorder=self.memory.recorder,
+            metrics=self.memory.metrics,
+        )
+        front = self.memory
+        if self.hierarchy is not None:
+            front = self.hierarchy
+        elif self.interconnect is not None:
+            front = InterconnectFront(
+                self.engine, self.memory, self.interconnect
+            )
+        self.front = front
         self.cores: List[TraceCore] = []
         for core_id, trace in enumerate(traces):
             caches = CacheHierarchy() if use_caches else None
             core = TraceCore(
                 self.engine,
-                self.memory,
+                front,
                 TraceCursor(trace),
                 core_id=core_id,
                 params=core_params,
@@ -202,4 +232,14 @@ class System:
             reads=merged.reads,
             writes=merged.writes,
             per_channel=per_channel,
+            cache=(
+                self.hierarchy.stats_dict(self.engine.now)
+                if self.hierarchy is not None
+                else None
+            ),
+            interconnect=(
+                self.interconnect.stats(self.engine.now)
+                if self.interconnect is not None
+                else None
+            ),
         )

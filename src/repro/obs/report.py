@@ -37,6 +37,26 @@ def _load_index(campaign_dir: Path) -> List[Dict[str, Any]]:
     return rows if isinstance(rows, list) else []
 
 
+def _metric_means(campaign_dir: Path, row: Dict[str, Any]) -> Optional[str]:
+    """``name=mean`` summary of one scenario's aggregated metrics."""
+    file_name = row.get("file")
+    if not file_name:
+        return None
+    try:
+        doc = json.loads((campaign_dir / str(file_name)).read_text())
+    except (OSError, ValueError):
+        return None
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        return None
+    parts = []
+    for name in sorted(metrics):
+        stats = metrics[name]
+        if isinstance(stats, dict) and "mean" in stats:
+            parts.append(f"{name}={stats['mean']:.4g}")
+    return "  ".join(parts) if parts else None
+
+
 def _scan_obs_dir(obs_dir: Path) -> List[str]:
     """Per-telemetry-file summary lines (traces + metrics series)."""
     lines: List[str] = []
@@ -94,6 +114,9 @@ def campaign_report(campaign_dir: PathLike) -> str:
                     f" ({error.get('type', '?')}: {error.get('message', '')})"
                 )
             lines.append(line)
+            means = _metric_means(root, row)
+            if means:
+                lines.append(f"      {means}")
     else:
         lines.append("scenarios: no campaign.json index found")
 

@@ -11,6 +11,7 @@ def test_registry_names_are_stable():
         "perf_multi_core",
         "perf_single_core",
         "perf_multi_channel",
+        "perf_cached",
         "campaign_smoke",
         "scheduler_pick",
         "scheduler_pick_fcfs",

@@ -83,6 +83,30 @@ def test_hierarchy_walks_levels():
     assert latency == pytest.approx(hierarchy.l1.latency_ns)
 
 
+def test_dirty_l1_eviction_propagates_to_dram():
+    # Regression: a line dirty *only in the L1* (clean demand fill,
+    # then a write hit) used to vanish on eviction — the dirty victim
+    # was never installed in the next level, and only the last level's
+    # own writeback was reported.  With every level sized 1 set x 1
+    # way, evicting A must write it back level by level until it falls
+    # past the LLC and reaches DRAM.
+    tiny = lambda name: Cache(name, size_bytes=64, ways=1)
+    hierarchy = CacheHierarchy(l1=tiny("L1"), l2=tiny("L2"), llc=tiny("LLC"))
+    hierarchy.access(0)                    # clean fill of every level
+    hierarchy.access(0, is_write=True)     # L1 write hit: dirty in L1 only
+    _, _, writebacks = hierarchy.access(64)
+    assert 0 in writebacks, "dirty L1 victim never reached DRAM"
+
+
+def test_clean_victims_never_reach_dram():
+    tiny = lambda name: Cache(name, size_bytes=64, ways=1)
+    hierarchy = CacheHierarchy(l1=tiny("L1"), l2=tiny("L2"), llc=tiny("LLC"))
+    hierarchy.access(0)
+    _, _, wb1 = hierarchy.access(64)
+    _, _, wb2 = hierarchy.access(128)
+    assert wb1 == [] and wb2 == []
+
+
 def test_hierarchy_flush_clears_every_level():
     hierarchy = CacheHierarchy()
     hierarchy.access(0)

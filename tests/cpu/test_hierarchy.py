@@ -1,0 +1,299 @@
+"""Unit tests for the event-driven L1/L2 hierarchy (``cache="l1l2"``)."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.controller.request import MemRequest
+from repro.cpu.hierarchy import CACHES, MemoryHierarchy, SetAssocCache
+
+
+class FakeMemory:
+    """Memory-target stub: records requests, completes reads after a delay."""
+
+    def __init__(self, engine, latency_ns=100.0):
+        self.engine = engine
+        self.latency_ns = latency_ns
+        self.reads = []
+        self.writes = []
+
+    def enqueue(self, request):
+        if request.is_write:
+            self.writes.append(request.phys_addr)
+            return
+        self.reads.append(request.phys_addr)
+        self.engine.schedule(
+            self.engine.now + self.latency_ns,
+            lambda: request.complete(self.engine.now),
+        )
+
+
+def make_hierarchy(engine, memory, **kwargs):
+    defaults = dict(
+        num_cores=2,
+        l1_size=2 * 64,
+        l1_ways=2,
+        l2_size=4 * 64,
+        l2_ways=4,
+        l2_banks=1,
+    )
+    defaults.update(kwargs)
+    return MemoryHierarchy(engine, memory, **defaults)
+
+
+def run_requests(hierarchy, engine, specs):
+    """Issue (addr, is_write, core) specs sequentially, one at a time."""
+    done = []
+    for addr, is_write, core in specs:
+        hierarchy.enqueue(
+            MemRequest(
+                phys_addr=addr,
+                is_write=is_write,
+                core_id=core,
+                arrive_time=engine.now,
+                on_complete=lambda r: done.append(r),
+            )
+        )
+        engine.run()
+    return done
+
+
+# ----------------------------------------------------------------------
+# SetAssocCache: address arithmetic and replacement
+# ----------------------------------------------------------------------
+def test_locate_line_addr_round_trip():
+    cache = SetAssocCache("t", size_bytes=8 * 1024, ways=4, line_bytes=64)
+    for phys in (0, 64, 63, 4096, 4097, 8 * 1024, 123456789):
+        set_index, tag = cache.locate(phys)
+        assert 0 <= set_index < cache.num_sets
+        # The reconstructed line address is phys rounded down to a line.
+        assert cache.line_addr(set_index, tag) == (phys // 64) * 64
+        # And locating it again lands in the same (set, tag).
+        assert cache.locate(cache.line_addr(set_index, tag)) == (set_index, tag)
+
+
+def test_distinct_lines_distinct_slots():
+    cache = SetAssocCache("t", size_bytes=4 * 1024, ways=4, line_bytes=64)
+    seen = set()
+    for phys in range(0, 64 * 1024, 64):
+        slot = cache.locate(phys)
+        assert slot not in seen
+        seen.add(slot)
+        assert cache.line_addr(*slot) == phys
+
+
+def test_lru_and_plru_pick_different_victims():
+    # 4 ways, one set; install A..D, touch A, then install E.  Exact
+    # LRU evicts B (oldest untouched); tree PLRU walks its bits to C.
+    a, b, c, d, e = 0, 64, 128, 192, 256
+    victims = {}
+    for policy in ("lru", "plru"):
+        cache = SetAssocCache("t", size_bytes=4 * 64, ways=4, replacement=policy)
+        for line in (a, b, c, d):
+            cache.install(line)
+        assert cache.access(a)
+        cache.install(e)
+        victims[policy] = [
+            line for line in (a, b, c, d) if not cache.contains(line)
+        ]
+    assert victims["lru"] == [b]
+    assert victims["plru"] == [c]
+
+
+def test_plru_requires_power_of_two_ways():
+    with pytest.raises(ValueError, match="power-of-two"):
+        SetAssocCache("t", size_bytes=3 * 64, ways=3, replacement="plru")
+    with pytest.raises(ValueError, match="unknown replacement"):
+        SetAssocCache("t", size_bytes=4 * 64, ways=4, replacement="random")
+
+
+def test_install_returns_dirty_victim():
+    cache = SetAssocCache("t", size_bytes=2 * 64, ways=2)
+    assert cache.install(0, dirty=True) is None
+    assert cache.install(64) is None
+    victim = cache.install(128)
+    assert victim == (0, True)
+    assert cache.stats.writebacks == 1
+
+
+def test_access_does_not_fill():
+    # Unlike the synchronous model, a demand miss must not install the
+    # line: the fill happens when DRAM returns it.
+    cache = SetAssocCache("t", size_bytes=2 * 64, ways=2)
+    assert not cache.access(0)
+    assert not cache.contains(0)
+    assert cache.stats.misses == 1
+
+
+# ----------------------------------------------------------------------
+# MemoryHierarchy: MSHRs, stalls, writebacks
+# ----------------------------------------------------------------------
+def test_mshr_merges_same_line_misses():
+    engine = Engine()
+    memory = FakeMemory(engine)
+    hierarchy = make_hierarchy(engine, memory)
+    done = []
+    for core in (0, 1):
+        hierarchy.enqueue(
+            MemRequest(
+                phys_addr=0,
+                core_id=core,
+                on_complete=lambda r: done.append(r.core_id),
+            )
+        )
+    engine.run()
+    # Two cores missed on the same line: one DRAM read, one merge,
+    # both requests completed by the single fill.
+    assert memory.reads == [0]
+    assert hierarchy.mshr_merges == 1
+    assert sorted(done) == [0, 1]
+    assert hierarchy.dram_reads == 1
+    # The line is now in the L2 and in both cores' L1s.
+    assert hierarchy.l2.contains(0)
+    assert all(l1.contains(0) for l1 in hierarchy.l1s)
+
+
+def test_mshr_full_stalls_then_releases():
+    engine = Engine()
+    memory = FakeMemory(engine)
+    hierarchy = make_hierarchy(engine, memory, mshrs=1)
+    done = []
+    for addr in (0, 64):
+        hierarchy.enqueue(
+            MemRequest(
+                phys_addr=addr,
+                on_complete=lambda r: done.append(r.phys_addr),
+            )
+        )
+    engine.run()
+    # The second miss found the only MSHR busy, stalled, and was
+    # released by the first fill; both ultimately read DRAM.
+    assert hierarchy.mshr_stalls == 1
+    assert sorted(memory.reads) == [0, 64]
+    assert sorted(done) == [0, 64]
+
+
+def test_dirty_l1_eviction_reaches_dram():
+    # L1: 1 set x 1 way; L2: 1 set x 2 ways.  Writing A then touching
+    # B, C, D forces A out of the L1 (write-back into L2) and then out
+    # of the L2 — the dirty line must surface as a DRAM write.
+    engine = Engine()
+    memory = FakeMemory(engine)
+    hierarchy = make_hierarchy(
+        engine,
+        memory,
+        num_cores=1,
+        l1_size=64,
+        l1_ways=1,
+        l2_size=2 * 64,
+        l2_ways=2,
+    )
+    a, b, c, d = 0, 64, 128, 192
+    run_requests(
+        hierarchy, engine, [(a, True, 0), (b, False, 0), (c, False, 0), (d, False, 0)]
+    )
+    assert a in memory.writes
+    assert hierarchy.dram_writebacks == 1
+    assert hierarchy.stats_dict()["dram_writebacks"] == 1
+
+
+def test_hierarchy_filters_dram_traffic():
+    engine = Engine()
+    memory = FakeMemory(engine)
+    hierarchy = make_hierarchy(engine, memory, num_cores=1)
+    done = run_requests(hierarchy, engine, [(0, False, 0)] * 10)
+    # Ten same-line requests, one DRAM read: nine hits stayed on-chip.
+    assert len(done) == 10
+    assert memory.reads == [0]
+    stats = hierarchy.stats_dict()
+    assert stats["l1"]["hits"] == 9
+    assert stats["l2"]["misses"] == 1
+
+
+def test_l2_hit_installs_l1():
+    # Fill via core 0, then access from core 1: core 1 misses its L1,
+    # hits the shared L2, and gets the line installed in its own L1.
+    engine = Engine()
+    memory = FakeMemory(engine)
+    hierarchy = make_hierarchy(engine, memory)
+    run_requests(hierarchy, engine, [(0, False, 0), (0, False, 1)])
+    assert memory.reads == [0]
+    assert hierarchy.l1s[1].contains(0)
+    assert hierarchy.l2.stats.hits == 1
+
+
+def test_requests_take_simulated_time():
+    engine = Engine()
+    memory = FakeMemory(engine, latency_ns=50.0)
+    hierarchy = make_hierarchy(engine, memory, num_cores=1)
+    done = run_requests(hierarchy, engine, [(0, False, 0), (0, False, 0)])
+    # Miss pays L1 + L2 + DRAM; the later hit pays only the L1 latency.
+    assert done[0].latency >= 50.0
+    assert done[1].latency == pytest.approx(hierarchy.l1_latency_ns)
+
+
+def test_constructor_validation():
+    engine = Engine()
+    memory = FakeMemory(engine)
+    with pytest.raises(ValueError, match="at least one core"):
+        make_hierarchy(engine, memory, num_cores=0)
+    with pytest.raises(ValueError, match="mshrs"):
+        make_hierarchy(engine, memory, mshrs=0)
+
+
+# ----------------------------------------------------------------------
+# Registry + System integration
+# ----------------------------------------------------------------------
+def test_caches_registry_spellings():
+    assert sorted(CACHES.available()) == ["l1l2", "none"]
+    assert CACHES.make("none") is None
+    with pytest.raises(ValueError) as excinfo:
+        CACHES.get("l3")
+    assert "(config field 'cache')" in str(excinfo.value)
+
+
+def test_cache_none_matches_direct_wiring():
+    # cache="none" must be byte-for-byte the historical direct path:
+    # same IPC, same elapsed time, same DRAM request count.
+    from repro.config import SystemConfig
+    from repro.experiments.common import (
+        DesignPoint,
+        build_system,
+        homogeneous_traces,
+    )
+
+    point = DesignPoint(design="tprac", nrh=1024)
+    results = []
+    for system in (None, SystemConfig(cache="none", interconnect="none")):
+        traces = homogeneous_traces(
+            "433.milc", cores=2, num_accesses=300, seed=0
+        )
+        results.append(build_system(point, traces, system=system).run())
+    base, spelled = results
+    assert spelled.ipcs == base.ipcs
+    assert spelled.mean_latency_ns == base.mean_latency_ns
+    assert spelled.elapsed_ns == base.elapsed_ns
+    assert spelled.dram_requests == base.dram_requests
+    assert spelled.cache is None and spelled.interconnect is None
+
+
+def test_system_result_carries_cache_stats():
+    from repro.config import SystemConfig
+    from repro.experiments.common import (
+        DesignPoint,
+        build_system,
+        homogeneous_traces,
+    )
+
+    traces = homogeneous_traces("433.milc", cores=2, num_accesses=300, seed=0)
+    system = build_system(
+        DesignPoint(design="tprac", nrh=1024),
+        traces,
+        system=SystemConfig(cache="l1l2", interconnect="crossbar"),
+    )
+    result = system.run()
+    assert result.cache is not None
+    assert 0.0 <= result.cache["l1"]["hit_rate"] <= 1.0
+    assert result.cache["dram_reads"] > 0
+    assert result.interconnect is not None
+    assert result.interconnect["kind"] == "crossbar"
+    assert result.interconnect["transfers"] > 0

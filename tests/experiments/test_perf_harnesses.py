@@ -35,6 +35,37 @@ def test_fig14_reset_allows_longer_window():
     assert result.format_table()
 
 
+def test_fig10_cache_none_is_byte_identical():
+    # Spelling the new axes at their defaults must reproduce the
+    # pre-hierarchy fig10 output byte for byte.
+    from repro.config import SystemConfig
+    from repro.experiments import fig10_performance
+
+    small = dict(workloads=["433.milc"], requests_per_core=400)
+    base = fig10_performance.run(**small)
+    spelled = fig10_performance.run(
+        system=SystemConfig(cache="none", interconnect="none"), **small
+    )
+    assert spelled.format_table() == base.format_table()
+    for design, rows in base.matrix.items():
+        for row, other in zip(rows, spelled.matrix[design]):
+            assert other.normalized == row.normalized
+
+
+def test_fig10_runs_behind_the_hierarchy():
+    from repro.config import SystemConfig
+    from repro.experiments import fig10_performance
+
+    result = fig10_performance.run(
+        workloads=["433.milc"],
+        requests_per_core=400,
+        system=SystemConfig(cache="l1l2", interconnect="fixed"),
+    )
+    for rows in result.matrix.values():
+        for row in rows:
+            assert row.normalized > 0.0
+
+
 def test_design_point_labels():
     from repro.experiments.common import DesignPoint
 

@@ -1,0 +1,51 @@
+"""The public facade (``repro.api``) stays importable and complete."""
+
+import repro.api as api
+
+
+def test_every_exported_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_facade_covers_the_component_registries():
+    # Every component axis's registry is reachable from the facade, so
+    # downstream code never needs to deep-import a defining module.
+    registries = api.component_registries()
+    assert set(registries) == set(api.COMPONENT_AXES)
+    facade_registries = {
+        api.SCHEDULERS,
+        api.MAPPINGS,
+        api.REFRESH_POLICIES,
+        api.CACHES,
+        api.INTERCONNECTS,
+    }
+    assert set(registries.values()) == facade_registries
+    assert "tprac" in api.MITIGATIONS.available()
+
+
+def test_facade_assembles_a_running_system():
+    from repro.experiments.common import homogeneous_traces
+
+    traces = homogeneous_traces("433.milc", cores=1, num_accesses=200, seed=0)
+    system = api.build_system(
+        api.DesignPoint(design="tprac", nrh=1024),
+        traces,
+        system=api.SystemConfig(cache="l1l2"),
+    )
+    result = system.run()
+    assert isinstance(result, api.SystemResult)
+    assert result.cache is not None
+
+
+def test_facade_expands_the_new_axes():
+    scenarios = api.expand_grid(
+        {
+            "attack": ["perf"],
+            "cache": ["none", "l1l2"],
+            "interconnect": ["fixed"],
+        }
+    )
+    assert len(scenarios) == 2
+    assert all(isinstance(s, api.Scenario) for s in scenarios)
+    assert "eviction_set" in api.ATTACK_KINDS
