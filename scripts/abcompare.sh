@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# A/B byte-compare: prove two execution backends produce identical
+# artifacts on the unchanged experiment pipeline.
+#
+#   scripts/abcompare.sh EVENT_ENGINE OTHER_ENGINE [suite-artifact...]
+#   scripts/abcompare.sh event batched            # full quick suite
+#   scripts/abcompare.sh event sharded fig7 fig8  # subset
+#
+# Each side runs the quick suite (every registered artifact, or the
+# given subset) plus the fig3/fig10 CLI renderings, with REPRO_ENGINE
+# forcing the backend through repro.experiments.common.build_system —
+# no scenario spec, config hash or CLI flag differs between the sides.
+# The result trees are diffed byte-for-byte after dropping the two
+# advisory wall-clock keys (elapsed_seconds, cache_key) that never
+# participate in result identity.
+#
+# This is the acceptance harness for the engine tier: "batched" (and,
+# on single-channel artifacts, "sharded") must be indistinguishable
+# from the reference "event" backend here.  It is also the pre/post
+# guard for the default path: comparing event vs event across two
+# checkouts proves a refactor moved nothing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+engine_a="${1:?usage: abcompare.sh ENGINE_A ENGINE_B [suite-artifact...]}"
+engine_b="${2:?usage: abcompare.sh ENGINE_A ENGINE_B [suite-artifact...]}"
+shift 2
+only=("$@")
+
+cleanup_dirs=()
+cleanup() {
+    if ((${#cleanup_dirs[@]})); then
+        rm -rf "${cleanup_dirs[@]}"
+    fi
+}
+trap cleanup EXIT
+
+run_side() {
+    local engine="$1" out="$2"
+    local only_flag=()
+    if ((${#only[@]})); then
+        only_flag=(--only "${only[@]}")
+    fi
+    # --no-cache: both sides must recompute, or a shared cache would
+    # make the compare vacuous.
+    REPRO_ENGINE="$engine" python -m repro.cli suite --jobs 2 \
+        --out "$out/suite" --no-cache "${only_flag[@]}" > /dev/null
+    REPRO_ENGINE="$engine" python -m repro.cli fig3 > "$out/fig3.txt"
+    REPRO_ENGINE="$engine" python -m repro.cli fig10 > "$out/fig10.txt"
+}
+
+strip_volatile() {
+    # Drop advisory wall-clock metadata in place, normalizing key order
+    # so the remaining content diffs byte-for-byte.
+    python - "$1" <<'PY'
+import json, pathlib, sys
+
+VOLATILE = {"elapsed_seconds", "cache_key"}
+
+def scrub(node):
+    if isinstance(node, dict):
+        return {k: scrub(v) for k, v in node.items() if k not in VOLATILE}
+    if isinstance(node, list):
+        return [scrub(item) for item in node]
+    return node
+
+for path in sorted(pathlib.Path(sys.argv[1]).rglob("*.json")):
+    doc = scrub(json.loads(path.read_text()))
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+PY
+    # The CLI renderings end with an advisory "---- <name> done in X.Xs"
+    # wall-clock line; everything above it must match exactly.
+    sed -i '/^---- .* done in [0-9.]*s$/d' "$1"/*.txt
+}
+
+dir_a="$(mktemp -d)"
+dir_b="$(mktemp -d)"
+cleanup_dirs+=("$dir_a" "$dir_b")
+
+echo "abcompare: side A (engine=$engine_a)"
+run_side "$engine_a" "$dir_a"
+echo "abcompare: side B (engine=$engine_b)"
+run_side "$engine_b" "$dir_b"
+
+strip_volatile "$dir_a"
+strip_volatile "$dir_b"
+
+if ! diff -r "$dir_a" "$dir_b"; then
+    echo "abcompare: FAIL — engine=$engine_b diverges from engine=$engine_a" >&2
+    exit 1
+fi
+count="$(find "$dir_a" -type f | wc -l)"
+echo "abcompare: OK — $count artifacts byte-identical ($engine_a vs $engine_b)"

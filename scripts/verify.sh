@@ -129,6 +129,36 @@ chaos_report="$(python -m repro.cli obs report "$chaos_dir")"
 grep -q 'health:' <<<"$chaos_report"
 grep -q 'pool_rebuilds' <<<"$chaos_report"
 
+echo "== engines: accelerated backends vs reference (byte-compare + sweep) =="
+# The engine tier's acceptance gate.  REPRO_ENGINE forces a backend
+# through build_system without touching any scenario spec or config
+# hash, and abcompare.sh byte-diffs the resulting artifacts (plus the
+# fig3/fig10 CLI renderings) against the reference event engine.
+scripts/abcompare.sh event batched fig7 fig8 table2
+scripts/abcompare.sh event sharded fig7 fig8 table2
+# The engine= scenario axis must also sweep cleanly through the
+# campaign runner.  --jobs 1 is deliberate: sharded scenarios fork
+# their own per-channel workers, and nested forking from a daemonic
+# pool worker is refused by design.
+engine_dir="$(mktemp -d)"
+cleanup_dirs+=("$engine_dir")
+python -m repro.cli campaign \
+    --grid attack=perf workload=433.milc engine=event,batched,sharded \
+    channels=2 --trials 1 --jobs 1 --seed 0 --out "$engine_dir"
+python - "$engine_dir" <<'PY'
+import json, pathlib, sys
+docs = [
+    json.loads(p.read_text())
+    for p in sorted(pathlib.Path(sys.argv[1]).glob("scenario-*.json"))
+]
+by_engine = {d["spec"].get("engine", "event"): d["metrics"] for d in docs}
+assert set(by_engine) == {"event", "batched", "sharded"}, sorted(by_engine)
+# batched is exact by contract; sharded only quantizes completion
+# times, so its served-work metric must still agree with the reference.
+assert by_engine["batched"] == by_engine["event"], "batched diverged"
+print(f"engines: {len(docs)} perf scenarios swept; batched metrics exact")
+PY
+
 echo "== lints: custom invariant suite =="
 python -m tools.repro_lints
 
@@ -136,9 +166,12 @@ echo "== bench: smoke run vs committed trajectory (hard acceptance gate) =="
 # Short run against the newest committed BENCH_<rev>.json.  --strict
 # fails the build when the acceptance workload (perf_multi_core)
 # drops >20% below baseline; the other pinned workloads stay advisory
-# warnings.  One warmup + best-of-3 is required for the gate to be
-# meaningful: a cold single rep measures ~25% below a warmed best-of-5
-# (cache/allocator warmup), which would trip the threshold on noise.
+# warnings.  Warmup reps are required for the gate to be meaningful: a
+# cold single rep measures ~25% below a warmed best-of-5
+# (cache/allocator warmup), and even a warmed best-of-3 was observed
+# ~23% below a best-of-9 baseline on a noisy 1-CPU host — inside the
+# threshold on a bad day.  Two warmups + best-of-5 keeps the gate's
+# own noise well under the 20% budget while staying ~30s.
 # Set BENCH_OUT to keep the result (CI uploads it as an artifact).
 if [[ -n "${BENCH_OUT:-}" ]]; then
     bench_out="$BENCH_OUT"
@@ -149,7 +182,7 @@ fi
 # The bench CLI prints the resolved baseline file it compared against
 # (`baseline: <path>`); require that line so the compare is auditable
 # from the CI log.
-bench_log="$(python -m repro.cli bench --smoke --reps 3 --warmup 1 \
+bench_log="$(python -m repro.cli bench --smoke --reps 5 --warmup 2 \
     --out "$bench_out" \
     --baseline benchmarks/trajectory --strict | tee /dev/stderr)"
 grep -q '^baseline: ' <<<"$bench_log"

@@ -22,7 +22,7 @@ from repro.campaigns.scenario import Scenario
 #: First-class scenario fields an axis can address directly.
 SCENARIO_AXES = (
     "attack", "mitigation", "workload", "dram", "nbo", "prac_level", "channels",
-    "scheduler", "mapping", "refresh", "cache", "interconnect",
+    "scheduler", "mapping", "refresh", "cache", "interconnect", "engine",
     "sanitize", "trace", "metrics",
 )
 

@@ -1,0 +1,479 @@
+"""The batched controller hot loop (``SystemConfig(engine="batched")``).
+
+:class:`BatchedMemoryController` is the reference
+:class:`~repro.controller.controller.MemoryController` with two
+accelerations of the wake loop, both **byte-identical in output** to
+the reference controller:
+
+1. **In-place re-examination.**  The reference loop ends a serving wake
+   by scheduling another wake at the same timestamp ("re-examine
+   immediately: serving may have changed state").  That re-examination
+   can be folded into the current wake: between the serving wake and
+   its same-time re-wake no other event can touch this channel's state
+   (priority-0 events at ``now`` have already fired, a serve never
+   creates new priority-0 events at ``now`` — completions land at
+   ``data_end > now`` — and the controller holds only one wake handle),
+   so running the follow-up checks in place is exactly
+   output-equivalent.  Moreover, with ``tCCD > 0`` a bank can never
+   serve twice at one timestamp (a serve pushes its ``cmd_ready`` past
+   ``now``), so the re-examination's bank scan provably serves nothing
+   and is skipped outright — only the ABO/RFM re-checks it would have
+   performed are run.  This elides the re-examination *events*: the
+   batched backend fires fewer events than ``event`` for the same
+   simulated work, which is why backends are compared on wall time
+   over pinned work, not events/sec (see docs/performance.md).
+
+2. **Array-batched bank scan.**  The reference scan walks every busy
+   bank per wake — recomputing or cache-loading its ready time, folding
+   the minimum for the next wake, and testing readiness — an O(busy)
+   Python loop that dominates the controller's cost at high bank-level
+   parallelism.  The batched scan keeps one full-width float64 column
+   of per-bank ready times (``+inf`` for idle banks) that is *persisted
+   across wakes* and invalidated exactly where the reference
+   invalidates its generation cache: per-bank on enqueue and serve,
+   channel-wide on REF/RFM blocking windows.  A wake then recomputes
+   only the invalidated entries and replaces the Python walk with three
+   numpy primitives — ``ready <= now`` + ``flatnonzero`` for the
+   candidate scan (ascending bank order, matching the reference's
+   sorted busy list) and ``min`` for the next-wake fold.  Channel-wide
+   invalidations rebuild all busy entries at once through the
+   vectorized ready-time formula (float64 ``max``/``add``/compare are
+   bit-identical to Python float arithmetic, so every scheduling
+   decision is unchanged).
+
+The numpy dependency is the optional ``repro[accel]`` extra; the
+backend factory raises a registry-style error when it is missing,
+unless ``engine_params={"numpy": False}`` opts into the pure-Python
+serve-loop fallback (acceleration 1 only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.controller.controller import MemoryController
+from repro.controller.request import MemRequest
+from repro.core.engines import EngineBackend
+from repro.dram.commands import RfmProvenance
+
+_INF = float("inf")
+
+
+class BatchedEngineBackend(EngineBackend):
+    """The ``batched`` entry of :data:`repro.core.engines.ENGINES`."""
+
+    name = "batched"
+
+    def __init__(self, numpy: bool = True, min_banks: int = 64) -> None:
+        if not isinstance(min_banks, int) or min_banks < 1:
+            raise ValueError("engine_params['min_banks'] must be a positive integer")
+        self._np: Optional[Any] = None
+        if numpy:
+            try:
+                import numpy as np
+            except ImportError:
+                raise ValueError(
+                    "engine 'batched' (config field 'engine') needs numpy, "
+                    "which is not installed; install the 'repro[accel]' "
+                    "extra (pip install 'repro[accel]') or pass "
+                    "engine_params={'numpy': False} for the pure-Python "
+                    "serve-loop fallback"
+                ) from None
+            self._np = np
+        self.min_banks = min_banks
+
+    def make_controller(self, *args: Any, **kwargs: Any) -> MemoryController:
+        return BatchedMemoryController(
+            *args, batch_numpy=self._np, batch_min_banks=self.min_banks, **kwargs
+        )
+
+
+class BatchedMemoryController(MemoryController):
+    """Reference controller with the batched wake loop.
+
+    Construct via the ``batched`` engine backend
+    (``ENGINES.make("batched")``), not directly — the backend resolves
+    the numpy dependency and threads the tuning parameters.
+    """
+
+    def __init__(
+        self,
+        *args: Any,
+        batch_numpy: Optional[Any] = None,
+        batch_min_banks: int = 64,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._np = batch_numpy
+        self._min_banks = batch_min_banks
+        # The skip-re-examination proof needs tCCD > 0 (a serve pushes
+        # its bank's cmd_ready strictly past ``now``).  Every real DDR5
+        # timing set satisfies it; fall back to full re-scans if a
+        # synthetic config does not.
+        self._skip_reexam = self.config.timing.tCCD > 0
+        if batch_numpy is not None:
+            n = self.config.organization.banks_per_channel
+            #: per-bank ready-time column; +inf marks an idle bank.
+            #: Valid for every bank not in the dirty set — the same
+            #: invariant the reference keeps for its generation cache.
+            self._arr_ready = batch_numpy.full(n, _INF)
+            #: banks whose column entry must be recomputed (enqueue /
+            #: re-candidate).  Serves refresh their entry in-pass.
+            self._dirty: Set[int] = set()
+            #: channel-wide invalidation (REF/RFM window moved
+            #: ``blocked_until``): rebuild every busy entry.
+            self._dirty_all = True
+            #: defensive corner: banks whose pick() declined while
+            #: ready (cannot happen with the shipped schedulers, which
+            #: always pick from a non-empty queue).  The reference
+            #: re-picks them on every wake without folding their ready
+            #: time into the wake target; mirror that by keeping them
+            #: out of the column min and re-candidating them per wake.
+            self._stuck: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Invalidation points (mirroring the reference generation cache)
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Accept a request, arming the wake at the bank's due time.
+
+        The reference enqueue unconditionally arms a wake at ``now``;
+        that wake computes the bank's ready time and re-arms at it —
+        often a no-op scan event when the bank can't start yet (row
+        conflict, tRP...).  Computing the ready time here and arming
+        the wake directly at ``max(ready, now)`` elides that event:
+
+        * The pre-existing wake (if any) sits at the minimum ready time
+          of the previously busy banks, and ``_schedule_wake`` keeps
+          the earlier of it and our target, so the next wake still
+          fires at the exact minimum — the same instant the reference's
+          rescan would have chosen.
+        * The skipped wake's ABO/RFM head cannot be missed: every due
+          condition (alert deadline, must-mitigate, queues-drained,
+          requested RFMs) arms its own wake when it arises, and the
+          deadline is folded into every wake target.
+        * The computed ready time also warms the generation cache (and
+          the numpy column), exactly the value the skipped scan would
+          have cached.
+        """
+        phys = request.phys_addr
+        entry = self._decode_cache.get(phys)
+        if entry is None:
+            addr = self.mapping.decode(phys)
+            entry = (addr, addr.flat_bank(self.config.organization))
+            self._decode_cache[phys] = entry
+        addr, bank_id = entry
+        request.addr = addr
+        now = self.engine.now
+        request.arrive_time = now
+        self.scheduler.enqueue(request, bank_id)
+        ready = self._bank_ready_time(bank_id)
+        self._ready_cache[bank_id] = ready
+        self._ready_gen[bank_id] = self._gen
+        if self._np is not None:
+            self._arr_ready[bank_id] = ready
+            self._dirty.discard(bank_id)
+        target = ready if ready > now else now
+        wake = self._wake_event
+        if wake is None or wake.cancelled or wake.time > target:
+            self._schedule_wake(target)
+
+    def _invalidate_ready_cache(self, _time: float = 0.0) -> None:
+        super()._invalidate_ready_cache(_time)
+        self._dirty_all = True
+
+    # ------------------------------------------------------------------
+    # The batched wake loop
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        self._wake_event = None
+        engine = self.engine
+        now = engine.now
+        channel = self.channel
+
+        if now < channel.blocked_until:
+            self._schedule_wake(channel.blocked_until)
+            return
+
+        next_wake: Optional[float] = self._abo_deadline
+        first_pass = True
+        while True:
+            # 1./2. ABO mitigation and proactive RFMs — identical to the
+            # reference top-of-wake checks; re-run before every pass
+            # (serving can assert an alert or request an RFM).
+            if self._top_actions(now):
+                return
+            if not first_pass and self._skip_reexam:
+                # The re-examination scan provably serves nothing (see
+                # module docstring); only the checks above were due.
+                break
+            if (
+                self._np is not None
+                and len(self.scheduler.banks_with_work()) >= self._min_banks
+            ):
+                served_any, next_wake, bail = self._array_pass(now)
+            else:
+                served_any, next_wake, bail = self._scalar_pass(now)
+            first_pass = False
+            if bail:
+                # must-mitigate tripped mid-scan: the scan armed a wake
+                # at ``now`` exactly like the reference loop; let that
+                # event run the mitigation so event order stays shared.
+                break
+            if not (served_any and self.scheduler._total_pending):
+                break
+
+        if next_wake is None:
+            return
+        target = next_wake if next_wake > now else now
+        wake = self._wake_event
+        if wake is not None and not wake.cancelled:
+            if wake.time <= target:
+                return
+            wake.cancel()
+        self._wake_event = engine.schedule(target, self._wake, 1, "mc-wake")
+
+    def _top_actions(self, now: float) -> bool:
+        """The reference wake's ABO/RFM head; True when a burst issued."""
+        abo = self.abo
+        if self.enable_abo and abo.alert_pending:
+            deadline = self._abo_deadline
+            due = (
+                abo.must_mitigate_now
+                or (deadline is not None and now >= deadline)
+                or self.scheduler.pending() == 0
+            )
+            if due:
+                self._issue_rfm_burst(abo.rfm_burst_size(), RfmProvenance.ABO)
+                abo.mitigation_done()
+                self._abo_deadline = None
+                self._schedule_wake(self.channel.blocked_until)
+                return True
+        if self._pending_rfms:
+            provenance, count = self._pending_rfms.pop(0)
+            self._issue_rfm_burst(count, provenance)
+            self._schedule_wake(self.channel.blocked_until)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Array pass (numpy)
+    # ------------------------------------------------------------------
+    def _refresh_column(self, busy: List[int]) -> None:
+        """Recompute the ready column for the invalidated banks."""
+        arr = self._arr_ready
+        queues = self._queues
+        if self._dirty_all:
+            arr.fill(_INF)
+            if len(busy) >= self._min_banks:
+                self._vector_ready(busy)
+            else:
+                for bank_id in busy:
+                    arr[bank_id] = self._bank_ready_time(bank_id)
+            self._dirty.clear()
+            self._dirty_all = False
+        elif self._dirty:
+            for bank_id in sorted(self._dirty):
+                arr[bank_id] = (
+                    self._bank_ready_time(bank_id) if queues[bank_id] else _INF
+                )
+            self._dirty.clear()
+
+    def _vector_ready(self, busy: List[int]) -> None:
+        """Vectorized ready-time formula over all busy banks at once.
+
+        Used for channel-wide rebuilds (every entry invalid).  The
+        inputs are gathered from the live scalar state; the arithmetic
+        — float64 max/add — is bit-identical to the per-bank Python
+        formula, so the column ends up exactly as the scalar rebuild
+        would leave it.
+        """
+        np = self._np
+        banks = self._banks
+        queues = self._queues
+        heads = [queues[b][0] for b in busy]
+        bank_objs = [banks[b] for b in busy]
+        cmd_ready = np.array([self._bank_cmd_ready[b] for b in busy])
+        ready = np.maximum(cmd_ready, self.channel.blocked_until)
+        open_rows = np.array(
+            [-1 if bk.open_row is None else bk.open_row for bk in bank_objs],
+            dtype=np.int64,
+        )
+        ready_at = np.array([bk.ready_at for bk in bank_objs])
+        miss = open_rows < 0
+        if miss.any():
+            pre_done = np.array([bk.precharge_done_at for bk in bank_objs])
+            ready = np.where(
+                miss, np.maximum(ready, np.maximum(ready_at, pre_done)), ready
+            )
+        conflict = open_rows >= 0
+        conflict &= open_rows != np.array(
+            [head.addr.row for head in heads], dtype=np.int64
+        )
+        if conflict.any():
+            pre_at = np.maximum(
+                np.array([head.arrive_time for head in heads]),
+                np.array([self._last_act_time[b] for b in busy]) + self._tRAS,
+            )
+            np.maximum(
+                pre_at,
+                np.array([self._last_cas_time[b] for b in busy]) + self._tRTP,
+                out=pre_at,
+            )
+            np.maximum(
+                pre_at,
+                np.array([self._wr_recovery_until[b] for b in busy]),
+                out=pre_at,
+            )
+            act_at = np.maximum(pre_at + self._tRP, ready_at)
+            ready = np.where(conflict, np.maximum(ready, act_at), ready)
+        self._arr_ready[np.array(busy, dtype=np.intp)] = ready
+
+    def _array_pass(self, now: float) -> Tuple[bool, Optional[float], bool]:
+        """One serve pass driven by the persistent ready column."""
+        np = self._np
+        scheduler = self.scheduler
+        queues = self._queues
+        banks = self._banks
+        arr = self._arr_ready
+        if self._stuck:
+            # Re-candidate declined banks each wake, like the reference.
+            self._dirty.update(self._stuck)
+            self._stuck.clear()
+        if self._dirty_all or self._dirty:
+            self._refresh_column(list(scheduler.banks_with_work()))
+        served_any = False
+        enable_abo = self.enable_abo
+        abo = self.abo
+        must_mitigate = enable_abo and abo.must_mitigate_now
+        # Candidate scan: ascending bank ids, matching the reference's
+        # sorted busy-list walk.
+        for bank_id in np.flatnonzero(arr <= now).tolist():
+            if must_mitigate:
+                self._schedule_wake(now)
+                return served_any, self._next_wake_from_column(), True
+            request = scheduler.pick(bank_id, banks[bank_id])
+            if request is None:  # defensive; see _stuck
+                self._stuck.add(bank_id)
+                arr[bank_id] = _INF
+                continue
+            self._serve(request, bank_id)
+            self._ready_gen[bank_id] = -1
+            served_any = True
+            if enable_abo:
+                must_mitigate = abo.must_mitigate_now
+            if queues[bank_id]:
+                ready = self._bank_ready_time(bank_id)
+                arr[bank_id] = ready
+                self._ready_cache[bank_id] = ready
+                self._ready_gen[bank_id] = self._gen
+            else:
+                arr[bank_id] = _INF
+        return served_any, self._next_wake_from_column(), False
+
+    def _next_wake_from_column(self) -> Optional[float]:
+        """Fold the column minimum with the ABO deadline."""
+        m = float(self._arr_ready.min())
+        next_wake = self._abo_deadline
+        if m != _INF and (next_wake is None or m < next_wake):
+            next_wake = m
+        return next_wake
+
+    # ------------------------------------------------------------------
+    # Scalar pass (pure-Python fallback: the reference scan verbatim)
+    # ------------------------------------------------------------------
+    def _scalar_pass(self, now: float) -> Tuple[bool, Optional[float], bool]:
+        """One serve pass over the live busy list (reference scan)."""
+        abo = self.abo
+        enable_abo = self.enable_abo
+        scheduler = self.scheduler
+        next_wake: Optional[float] = self._abo_deadline
+        served_any = False
+        banks = self._banks
+        queues = self._queues
+        cmd_ready = self._bank_cmd_ready
+        last_act = self._last_act_time
+        last_cas = self._last_cas_time
+        wr_recovery = self._wr_recovery_until
+        ready_cache = self._ready_cache
+        ready_gen = self._ready_gen
+        gen = self._gen
+        tRP = self._tRP
+        tRAS = self._tRAS
+        tRTP = self._tRTP
+        blocked_until = self.channel.blocked_until
+        must_mitigate = enable_abo and abo.must_mitigate_now
+        arr = self._arr_ready if self._np is not None else None
+        busy = scheduler.banks_with_work()
+        i = 0
+        n = len(busy)
+        while i < n:
+            bank_id = busy[i]
+            if must_mitigate:
+                self._schedule_wake(now)
+                return served_any, next_wake, True
+            if ready_gen[bank_id] == gen:
+                ready = ready_cache[bank_id]
+            else:
+                bank = banks[bank_id]
+                # --- inline _bank_ready_time (kept in sync with the
+                # method, which remains the readable reference).
+                ready = cmd_ready[bank_id]
+                if blocked_until > ready:
+                    ready = blocked_until
+                head = queues[bank_id][0]
+                open_row = bank.open_row
+                if open_row is None:
+                    act_at = bank.ready_at
+                    pd = bank.precharge_done_at
+                    if pd > act_at:
+                        act_at = pd
+                    if act_at > ready:
+                        ready = act_at
+                elif head.addr.row != open_row:
+                    pre_at = head.arrive_time
+                    t = last_act[bank_id] + tRAS
+                    if t > pre_at:
+                        pre_at = t
+                    t = last_cas[bank_id] + tRTP
+                    if t > pre_at:
+                        pre_at = t
+                    t = wr_recovery[bank_id]
+                    if t > pre_at:
+                        pre_at = t
+                    act_at = pre_at + tRP
+                    t = bank.ready_at
+                    if t > act_at:
+                        act_at = t
+                    if act_at > ready:
+                        ready = act_at
+                # --- end inline
+                ready_cache[bank_id] = ready
+                ready_gen[bank_id] = gen
+            if ready > now:
+                if next_wake is None or ready < next_wake:
+                    next_wake = ready
+                i += 1
+                continue
+            request = scheduler.pick(bank_id, banks[bank_id])
+            if request is None:
+                i += 1
+                continue
+            self._serve(request, bank_id)
+            ready_gen[bank_id] = -1
+            served_any = True
+            if enable_abo:
+                must_mitigate = abo.must_mitigate_now
+            n = len(busy)
+            if i < n and busy[i] == bank_id:
+                ready = self._bank_ready_time(bank_id)
+                ready_cache[bank_id] = ready
+                ready_gen[bank_id] = gen
+                if arr is not None:
+                    arr[bank_id] = ready
+                if next_wake is None or ready < next_wake:
+                    next_wake = ready
+                i += 1
+            elif arr is not None:
+                arr[bank_id] = _INF  # bank went idle
+        return served_any, next_wake, False

@@ -1,0 +1,491 @@
+"""The ``sharded`` engine backend: one worker process per DRAM channel.
+
+Channels share nothing but the clock — each owns its controller,
+mitigation policy, PRAC counters, ABO protocol, refresh machinery and
+data bus — so for ``channels > 1`` the per-channel stacks can run on
+separate processes and use real CPU parallelism.  The cores stay on
+the main process; the memory side is replaced by
+:class:`ShardedMemorySystem`, a buffering facade synchronized with the
+workers at fixed **epoch barriers**:
+
+1. The main process runs the cores one quantum ``(t, t+Q]``; every
+   DRAM request is buffered as a plain ``(rid, time, phys_addr,
+   is_write, core_id)`` tuple on its channel's outbox.
+2. At the barrier the outboxes are shipped to the workers, each of
+   which replays the arrivals at their exact timestamps on its own
+   event engine and simulates its channel to the same boundary.
+3. Completions come back one epoch later (the main process runs epoch
+   ``j+1`` while the workers simulate epoch ``j`` — a two-deep
+   pipeline) and are applied to the in-flight requests at the current
+   boundary.
+
+Accuracy contract: per-channel DRAM behaviour (command schedules, row
+hits, activations, RFMs, refreshes, mitigation decisions, request
+latencies as seen by the controller) is **exact** — the worker runs
+the reference :class:`~repro.controller.controller.MemoryController`
+on the true arrival times.  What is approximate is the *core-visible*
+completion time, quantized up to the epoch boundary at which the
+completion is applied (staleness bounded by two quanta), so IPC and
+``elapsed_ns`` drift slightly from the ``event`` backend while the
+memory statistics do not.  Runs are deterministic: arrivals ship in
+enqueue order, workers replay them with deterministic event sequence
+numbers, and completions are applied in (channel, completion) order.
+
+Workers are forked (:class:`~repro.core.executor.ShardProcess`), so
+the controller-building closure is inherited rather than pickled, and
+results return as pickled stats digests when the run finalizes.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.config import DEFAULT_SYSTEM, SystemConfig
+from repro.controller.memory_system import MemorySystem, _accepts_channel_id
+from repro.controller.request import MemRequest
+from repro.controller.stats import ControllerStats
+from repro.core.engine import Engine
+from repro.core.engines import EngineBackend
+from repro.core.executor import ShardProcess, error_entry
+from repro.dram.address import AddressMapping
+from repro.dram.config import DramConfig
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: an arrival shipped to a worker: (rid, time, phys_addr, is_write, core_id)
+Arrival = Tuple[int, float, int, bool, int]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _shard_worker(
+    conn: Any,
+    channel_id: int,
+    build: Callable[[Engine, int], Any],
+) -> None:
+    """Entry point of one channel's worker process.
+
+    Owns a private :class:`Engine` plus the reference controller stack
+    for ``channel_id`` and speaks the epoch protocol: ``("epoch",
+    t_end, arrivals)`` -> simulate to ``t_end``, reply ``("done",
+    [(rid, done_time), ...])``; ``("stop",)`` -> reply ``("digest",
+    ...)`` and exit.  Any exception is folded into an ``("error",
+    entry)`` reply so the main process raises instead of hanging.
+    """
+    try:
+        engine = Engine()
+        controller = build(engine, channel_id)
+        completed: List[Tuple[int, float]] = []
+
+        def finish(request: MemRequest, rid: int) -> None:
+            completed.append((rid, request.done_time))
+
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "epoch":
+                _, t_end, arrivals = message
+                for rid, time, phys_addr, is_write, core_id in arrivals:
+                    request = MemRequest(
+                        phys_addr=phys_addr,
+                        is_write=is_write,
+                        core_id=core_id,
+                        on_complete=partial(finish, rid=rid),
+                    )
+                    engine.schedule(
+                        time, partial(controller.enqueue, request), 0, "shard-arrive"
+                    )
+                engine.run(until=t_end)
+                conn.send(("done", completed))
+                completed = []
+            elif kind == "stop":
+                conn.send(
+                    (
+                        "digest",
+                        {
+                            "channel_id": controller.channel_id,
+                            "stats": controller.stats,
+                            "bank_stats": [bank.stats for bank in controller.channel],
+                            "rfm_count": controller.channel.rfm_count,
+                            "refresh_count": controller.refresh.refresh_count,
+                        },
+                    )
+                )
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown shard message {kind!r}")
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        try:
+            conn.send(("error", error_entry(exc)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+
+
+# ----------------------------------------------------------------------
+# Post-run views (duck-typed to the live controller surface)
+# ----------------------------------------------------------------------
+class _BankView:
+    """A finished bank: just its :class:`~repro.dram.bank.BankStats`."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats: Any) -> None:
+        self.stats = stats
+
+
+class _ChannelView:
+    """A finished channel: iterable of bank views plus ``rfm_count``."""
+
+    def __init__(self, bank_stats: List[Any], rfm_count: int) -> None:
+        self._banks = [_BankView(stats) for stats in bank_stats]
+        self.rfm_count = rfm_count
+
+    def __iter__(self) -> Iterator[_BankView]:
+        return iter(self._banks)
+
+    def __len__(self) -> int:
+        return len(self._banks)
+
+
+class _RefreshView:
+    __slots__ = ("refresh_count",)
+
+    def __init__(self, refresh_count: int) -> None:
+        self.refresh_count = refresh_count
+
+
+class _ControllerView:
+    """What result gathering reads off a controller, rebuilt from a
+    worker digest: ``stats``, ``channel`` (banks), ``refresh``,
+    ``channel_id``."""
+
+    def __init__(self, digest: Dict[str, Any]) -> None:
+        self.channel_id: int = digest["channel_id"]
+        self.stats: ControllerStats = digest["stats"]
+        self.channel = _ChannelView(digest["bank_stats"], digest["rfm_count"])
+        self.refresh = _RefreshView(digest["refresh_count"])
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class ShardedMemorySystem:
+    """Multi-channel memory facade with per-channel worker processes.
+
+    Mirrors the :class:`~repro.controller.memory_system.MemorySystem`
+    constructor and aggregate-view surface, but ``enqueue`` buffers
+    requests instead of serving them — the epoch loop in
+    :meth:`ShardedEngineBackend.run_system` ships the buffers to the
+    workers and applies completions at the barriers.  Controller views
+    (:attr:`controllers`, :attr:`stats`, bank iteration) become
+    available once the run finalizes the worker digests.
+
+    Shared cross-channel telemetry cannot span processes, so
+    ``SystemConfig(trace=True)`` / ``metrics=True`` are rejected here;
+    use the ``event`` backend for instrumented runs.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: DramConfig,
+        policy: Optional[object] = None,
+        policy_factory: Optional[Callable[[], object]] = None,
+        enable_abo: bool = True,
+        enable_refresh: bool = True,
+        tref_per_trefi: float = 0.0,
+        record_samples: bool = False,
+        system: Optional[SystemConfig] = None,
+        page_policy: Optional[str] = None,
+        mapping: Optional[AddressMapping] = None,
+        backend: Optional[EngineBackend] = None,
+    ) -> None:
+        system = (system if system is not None else DEFAULT_SYSTEM).validate()
+        config = system.apply_to(config).validate()
+        channels = config.organization.channels
+        if channels < 2:
+            raise ValueError(
+                "ShardedMemorySystem needs channels > 1; with one channel "
+                "the sharded backend uses the in-process MemorySystem"
+            )
+        if policy is not None and policy_factory is not None:
+            raise ValueError("pass either policy or policy_factory, not both")
+        if policy is not None:
+            raise ValueError(
+                "a policy instance attaches to one controller; "
+                f"multi-channel systems ({channels} channels) need "
+                "policy_factory so every channel gets its own instance"
+            )
+        if system.trace or system.metrics:
+            raise ValueError(
+                "engine 'sharded' cannot share a trace recorder or metrics "
+                "registry across worker processes; use engine='event' for "
+                "instrumented runs"
+            )
+        self.engine = engine
+        self.config = config
+        self.system = system
+        self.channels = channels
+        self.backend = backend
+        self.mapping = mapping or system.make_mapping(config.organization)
+        self.recorder = None
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.sampler = None
+
+        if policy_factory is None:
+            def make_policy(channel_id: int) -> Optional[object]:
+                return None
+        elif _accepts_channel_id(policy_factory):
+            def make_policy(channel_id: int) -> Optional[object]:
+                return policy_factory(channel_id=channel_id)
+        else:
+            def make_policy(channel_id: int) -> Optional[object]:
+                return policy_factory()
+
+        def build_controller(worker_engine: Engine, channel_id: int) -> Any:
+            # Workers run the batched controller's pure-Python serve
+            # loop: per-channel results are byte-identical to the
+            # reference controller (see repro.controller.batched), and
+            # the folded re-examination wake cuts worker CPU — which
+            # on few-core hosts is the whole bill.
+            from repro.core.engines import ENGINES
+
+            return ENGINES.make("batched", numpy=False).make_controller(
+                worker_engine,
+                config,
+                policy=make_policy(channel_id),
+                system=system,
+                mapping=self.mapping,
+                enable_abo=enable_abo,
+                enable_refresh=enable_refresh,
+                tref_per_trefi=tref_per_trefi,
+                record_samples=record_samples,
+                page_policy=page_policy,
+                channel_id=channel_id,
+                recorder=None,
+                metrics=None,
+            )
+
+        # Fork one worker per channel (construction order = channel
+        # order, so pipe traffic is addressed deterministically).  The
+        # build closure crosses via fork inheritance, never pickling.
+        self.workers: List[ShardProcess] = [
+            ShardProcess(
+                partial(_shard_worker, channel_id=channel_id, build=build_controller),
+                name=f"shard-ch{channel_id}",
+            )
+            for channel_id in range(channels)
+        ]
+        self._outboxes: List[List[Arrival]] = [[] for _ in range(channels)]
+        #: rid -> main-side request awaiting a worker completion
+        self.inflight: Dict[int, MemRequest] = {}
+        self._next_rid = 0
+        self._views: Optional[List[_ControllerView]] = None
+
+    # ------------------------------------------------------------------
+    # Request routing (buffered)
+    # ------------------------------------------------------------------
+    def enqueue(self, request: MemRequest) -> None:
+        """Buffer a request on its channel's outbox for the next epoch."""
+        now = self.engine.now
+        request.arrive_time = now
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        self.inflight[rid] = request
+        self._outboxes[self.mapping.channel_of(request.phys_addr)].append(
+            (rid, now, request.phys_addr, request.is_write, request.core_id)
+        )
+
+    def controller_for(self, phys_addr: int) -> Any:
+        """Unsupported: controllers live on worker processes."""
+        raise RuntimeError(
+            "engine 'sharded' runs controllers on worker processes; "
+            "live controller access needs engine='event'"
+        )
+
+    def drain_outboxes(self) -> List[List[Arrival]]:
+        """Take this epoch's buffered arrivals, channel order."""
+        outboxes = self._outboxes
+        self._outboxes = [[] for _ in range(self.channels)]
+        return outboxes
+
+    def apply_completions(
+        self, done_lists: List[List[Tuple[int, float]]], boundary: float
+    ) -> None:
+        """Complete in-flight requests at an epoch ``boundary``.
+
+        ``done_lists`` is one worker reply per channel, in channel
+        order; each list is in worker completion order.  Application
+        order is therefore deterministic, and so is everything the
+        ``on_complete`` hooks schedule.
+        """
+        inflight = self.inflight
+        for completions in done_lists:
+            for rid, _done_time in completions:
+                inflight.pop(rid).complete(boundary)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finalize(self, digests: List[Dict[str, Any]]) -> None:
+        """Install the post-run controller views from worker digests."""
+        self._views = [_ControllerView(digest) for digest in digests]
+
+    def close(self) -> None:
+        """Tear down the worker processes (idempotent)."""
+        workers, self.workers = self.workers, []
+        for worker in workers:
+            worker.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def controllers(self) -> List[_ControllerView]:
+        """Per-channel controller views (post-run digests)."""
+        if self._views is None:
+            raise RuntimeError(
+                "sharded controller statistics are available after run(); "
+                "live controller access needs engine='event'"
+            )
+        return self._views
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def idle(self) -> bool:
+        """True when no request is awaiting a worker completion."""
+        return not self.inflight
+
+    @property
+    def per_channel_stats(self) -> List[ControllerStats]:
+        return [view.stats for view in self.controllers]
+
+    @property
+    def stats(self) -> ControllerStats:
+        return ControllerStats.merged(self.per_channel_stats)
+
+    def iter_banks(self) -> Iterator[_BankView]:
+        """Every bank view across all channels (post-run aggregate)."""
+        for view in self.controllers:
+            yield from view.channel
+
+    @property
+    def activations(self) -> int:
+        return sum(bank.stats.activations for bank in self.iter_banks())
+
+    @property
+    def refresh_count(self) -> int:
+        return sum(view.refresh.refresh_count for view in self.controllers)
+
+    @property
+    def rfm_count(self) -> int:
+        return sum(view.channel.rfm_count for view in self.controllers)
+
+    def __len__(self) -> int:
+        return self.channels
+
+    def __iter__(self) -> Iterator[_ControllerView]:
+        return iter(self.controllers)
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+class ShardedEngineBackend(EngineBackend):
+    """``engine="sharded"``: channels on worker processes, epoch barriers.
+
+    ``engine_params``:
+
+    ``quantum`` (float ns, default ``100.0``)
+        Epoch length.  Smaller quanta tighten the core-visible
+        completion quantization (closer to ``event``-backend IPC) but
+        raise synchronization overhead; larger quanta amortize the
+        barrier at the cost of staleness.  The default sits at the
+        DRAM read-latency scale, the empirical wall-clock sweet spot
+        on the bench shapes.  See docs/performance.md.
+    """
+
+    name = "sharded"
+
+    def __init__(self, quantum: float = 100.0) -> None:
+        if not isinstance(quantum, (int, float)) or isinstance(quantum, bool):
+            raise ValueError(
+                f"engine 'sharded' engine_params['quantum'] must be a "
+                f"number of nanoseconds, got {quantum!r}"
+            )
+        if not quantum > 0:
+            raise ValueError(
+                f"engine 'sharded' engine_params['quantum'] must be "
+                f"positive, got {quantum!r}"
+            )
+        self.quantum = float(quantum)
+
+    def shards_channels(self, channels: int) -> bool:
+        return channels > 1
+
+    def make_memory(self, engine: Engine, config: Any, **kwargs: Any) -> Any:
+        system = kwargs.get("system")
+        system = (system if system is not None else DEFAULT_SYSTEM).validate()
+        if system.apply_to(config).validate().organization.channels == 1:
+            # One channel: nothing to shard — degenerate to the exact
+            # in-process reference path (byte-identical to "event").
+            return MemorySystem(engine, config, backend=self, **kwargs)
+        return ShardedMemorySystem(engine, config, backend=self, **kwargs)
+
+    def run_system(
+        self,
+        system: Any,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        memory = system.memory
+        if not isinstance(memory, ShardedMemorySystem):
+            # channels == 1 degenerated to the in-process facade.
+            super().run_system(system, until=until, max_events=max_events)
+            return
+        if until is not None:
+            raise ValueError(
+                "engine 'sharded' runs whole workloads between epoch "
+                "barriers; until= stepping needs engine='event'"
+            )
+        engine = system.engine
+        quantum = self.quantum
+        workers = memory.workers
+        try:
+            boundary = engine.now
+            outstanding = 0  # epochs shipped, reply not yet received
+            while system._unfinished > 0 or memory.inflight:
+                boundary += quantum
+                # max_events bounds each core quantum (runaway backstop,
+                # not a precise total across epochs).
+                engine.run(until=boundary, max_events=max_events)
+                for worker, arrivals in zip(workers, memory.drain_outboxes()):
+                    worker.send(("epoch", boundary, arrivals))
+                outstanding += 1
+                if outstanding >= 2:
+                    # Two-deep pipeline: collect the epoch the workers
+                    # simulated while the cores ran this one.
+                    memory.apply_completions(
+                        [worker.recv()[1] for worker in workers], boundary
+                    )
+                    outstanding -= 1
+            while outstanding:
+                memory.apply_completions(
+                    [worker.recv()[1] for worker in workers], boundary
+                )
+                outstanding -= 1
+            for worker in workers:
+                worker.send(("stop",))
+            memory.finalize([worker.recv()[1] for worker in workers])
+        finally:
+            memory.close()

@@ -1,0 +1,155 @@
+"""The ``ENGINES`` registry: pluggable simulation-execution backends.
+
+PR 3's fastpath made the event kernel (:mod:`repro.core.engine`) and
+the controller wake loop the whole cost of every experiment; the next
+wins — batching the bank scan, sharding independent channels across
+processes — change *how* the simulation executes without changing what
+it simulates.  This module gives those execution strategies the same
+component API as every other structural axis
+(:data:`~repro.controller.scheduler.SCHEDULERS`,
+:data:`~repro.cpu.hierarchy.CACHES`, ...): a name -> factory registry
+(:data:`ENGINES`) addressed by ``SystemConfig(engine=, engine_params=)``,
+with ``"event"`` — the exact historical kernel — as the default that
+serializes to nothing, so every persisted scenario ID and content hash
+is unmoved.
+
+Backends
+--------
+``event``
+    The reference backend: one :class:`~repro.core.engine.Engine`, one
+    :class:`~repro.controller.controller.MemoryController` per channel,
+    results bit-identical to every previous revision.
+``batched``
+    Same single-engine execution, but the controller hot loop is the
+    batched variant (:mod:`repro.controller.batched`): the same-time
+    re-examination wake is folded into an in-place serve loop and the
+    per-bank ready-time scan is numpy-vectorized past a busy-bank
+    threshold.  Outputs are byte-identical to ``event``; the event
+    *count* is lower (elided re-examination wakes), so compare backends
+    on wall time over pinned work, not raw events/sec.  Needs numpy
+    (the ``repro[accel]`` extra) unless ``engine_params={"numpy":
+    False}`` opts into the pure-Python serve-loop fallback.
+``sharded``
+    For ``channels > 1``: each channel's controller/refresh/ABO stack
+    runs on its own worker process (:mod:`repro.controller.sharded`),
+    synchronized with the cores at epoch barriers.  Core-visible
+    completion times are quantized to epoch boundaries (bounded
+    staleness — see docs/performance.md), so IPC is approximate while
+    per-channel DRAM statistics stay exact; runs are deterministic.
+    With one channel it degenerates to the ``event`` path.
+
+The registry is resolved by :meth:`repro.config.SystemConfig.make_engine`;
+nothing here imports the controller package at module import time, so
+the dependency direction (controller -> config -> engines) stays
+acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.engine import Engine
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.system import System
+
+#: engine backend registry, addressed by ``SystemConfig.engine``.
+ENGINES = Registry("engine", "engine")
+
+#: the default backend name (omitted from serialized configs).
+DEFAULT_ENGINE = "event"
+
+
+class EngineBackend:
+    """Base class / reference implementation of an execution backend.
+
+    A backend decides three things: which :class:`Engine` to drive
+    (currently always the deterministic event kernel), which controller
+    class each channel gets (:meth:`make_controller`), and how a whole
+    :class:`~repro.cpu.system.System` is run to completion
+    (:meth:`run_system`).  The base class is the ``event`` backend —
+    every hook reproduces the historical behaviour bit-for-bit — and
+    the accelerated backends override exactly one hook each, so a
+    backend that does not care about an axis inherits the reference
+    semantics.
+    """
+
+    name = "event"
+
+    def make_engine(self) -> Engine:
+        """A fresh simulation engine for one system."""
+        return Engine()
+
+    def make_controller(self, *args: Any, **kwargs: Any) -> Any:
+        """One channel's memory controller (passes arguments through).
+
+        The base backend builds the reference
+        :class:`~repro.controller.controller.MemoryController`.
+        """
+        from repro.controller.controller import MemoryController
+
+        return MemoryController(*args, **kwargs)
+
+    def shards_channels(self, channels: int) -> bool:
+        """Whether this backend runs channels on worker processes."""
+        return False
+
+    def make_memory(self, engine: Engine, config: Any, **kwargs: Any) -> Any:
+        """The memory-system facade for one system.
+
+        The base backend builds the in-process
+        :class:`~repro.controller.memory_system.MemorySystem`, handing
+        itself down so the facade constructs this backend's controller
+        class per channel.
+        """
+        from repro.controller.memory_system import MemorySystem
+
+        return MemorySystem(engine, config, backend=self, **kwargs)
+
+    def run_system(
+        self,
+        system: "System",
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Drive a started system to completion (or ``until``).
+
+        This is the historical :meth:`repro.cpu.system.System.run`
+        loop verbatim: the engine's inlined run with the per-core
+        finish hooks requesting a stop, or the stepping loop when an
+        explicit horizon is given.
+        """
+        engine = system.engine
+        if until is None:
+            if system._unfinished > 0:
+                engine.run(max_events=max_events)
+        else:
+            fired = 0
+            while fired < max_events:
+                if engine.now >= until:
+                    break
+                if system._unfinished == 0:
+                    break
+                if not engine.step():
+                    break
+                fired += 1
+
+
+ENGINES.register("event", EngineBackend)
+
+
+@ENGINES.register("batched")
+def _make_batched(**params: Any) -> EngineBackend:
+    """Late-bound factory: the implementation lives with the controller."""
+    from repro.controller.batched import BatchedEngineBackend
+
+    return BatchedEngineBackend(**params)
+
+
+@ENGINES.register("sharded")
+def _make_sharded(**params: Any) -> EngineBackend:
+    """Late-bound factory: the implementation lives with the controller."""
+    from repro.controller.sharded import ShardedEngineBackend
+
+    return ShardedEngineBackend(**params)

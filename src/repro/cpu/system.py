@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.config import SystemConfig
+from repro.config import DEFAULT_SYSTEM, SystemConfig
 from repro.controller.controller import MemoryController
 from repro.controller.memory_system import MemorySystem
 from repro.core.engine import Engine
@@ -90,9 +90,17 @@ class System:
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
-        self.engine = Engine()
+        # The engine= axis picks the execution backend (event kernel,
+        # batched controller loop, sharded channels); the backend then
+        # decides the engine, the memory facade, and how run() drives
+        # the simulation.  The default resolves to the historical
+        # event kernel with identical construction order.
+        self.backend = (
+            system if system is not None else DEFAULT_SYSTEM
+        ).validate().make_engine()
+        self.engine = self.backend.make_engine()
         self.config = config or ddr5_8000b()
-        self.memory = MemorySystem(
+        self.memory = self.backend.make_memory(
             self.engine,
             self.config,
             policy=policy,
@@ -171,23 +179,7 @@ class System:
         """
         for core in self.cores:
             core.start()
-        if until is None:
-            # Fast path: the engine's inlined loop runs the whole
-            # simulation; the per-core finish hooks request a stop as the
-            # last core completes — exactly where the scanning loop below
-            # would have broken, with no O(cores) check per event.
-            if self._unfinished > 0:
-                self.engine.run(max_events=max_events)
-        else:
-            fired = 0
-            while fired < max_events:
-                if self.engine.now >= until:
-                    break
-                if self._unfinished == 0:
-                    break
-                if not self.engine.step():
-                    break
-                fired += 1
+        self.backend.run_system(self, until=until, max_events=max_events)
         return self._gather_result()
 
     # ------------------------------------------------------------------

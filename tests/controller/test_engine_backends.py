@@ -1,0 +1,153 @@
+"""Byte-identity and determinism contracts of the accelerated backends.
+
+The engine tier's whole premise is that ``engine=`` changes *how* the
+simulation executes, never *what* it computes:
+
+* ``batched`` — every variant (numpy hybrid, numpy forced on via
+  ``min_banks=1``, pure-Python fallback) must produce a
+  :class:`~repro.cpu.system.SystemResult` equal field-for-field to the
+  ``event`` backend's, across channel counts and mitigation designs.
+* ``sharded`` — approximate by contract at ``channels > 1`` (epoch-
+  quantized completions), so the tests pin what *is* promised instead:
+  byte-identical degeneration at one channel, run-twice determinism,
+  conservation of the served work, exact per-channel statistics
+  plumbing, and loud rejection of the features it cannot honor
+  (``until=`` stepping, shared trace/metrics, policy instances).
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.common import DesignPoint, build_system, homogeneous_traces
+
+
+def run_result(engine, channels=1, params=None, design="tprac", cores=2, requests=220):
+    system = build_system(
+        DesignPoint(design=design, nrh=1024),
+        homogeneous_traces("433.milc", cores=cores, num_accesses=requests, seed=0),
+        system=SystemConfig(
+            channels=channels, engine=engine, engine_params=params or {}
+        ),
+    )
+    return system.run()
+
+
+BATCHED_VARIANTS = {
+    "hybrid": {},                      # numpy column past the busy threshold
+    "numpy-forced": {"min_banks": 1},  # numpy column on every array pass
+    "fallback": {"numpy": False},      # pure-Python serve-loop fold
+}
+
+
+# ----------------------------------------------------------------------
+# batched: byte-identity to the reference backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(BATCHED_VARIANTS))
+@pytest.mark.parametrize("channels", [1, 2])
+def test_batched_matches_event_exactly(variant, channels):
+    reference = run_result("event", channels=channels)
+    batched = run_result("batched", channels=channels, params=BATCHED_VARIANTS[variant])
+    assert batched.__dict__ == reference.__dict__
+
+
+@pytest.mark.parametrize("design", ["none", "abo_acb"])
+def test_batched_matches_event_across_designs(design):
+    reference = run_result("event", design=design)
+    batched = run_result("batched", design=design)
+    assert batched.__dict__ == reference.__dict__
+
+
+def test_batched_fires_fewer_events_for_the_same_work():
+    """The folded serve loop elides re-examination wakes: same result,
+    strictly fewer events — which is why backend comparisons must use
+    wall time over pinned work, not events/sec."""
+    def events(engine):
+        system = build_system(
+            DesignPoint(design="tprac", nrh=1024),
+            homogeneous_traces("433.milc", cores=2, num_accesses=220, seed=0),
+            system=SystemConfig(engine=engine),
+        )
+        result = system.run()
+        return system.engine.events_fired, result
+
+    event_count, event_result = events("event")
+    batched_count, batched_result = events("batched")
+    assert batched_result.__dict__ == event_result.__dict__
+    assert batched_count < event_count
+
+
+# ----------------------------------------------------------------------
+# sharded: degeneration, determinism, conservation
+# ----------------------------------------------------------------------
+def test_sharded_single_channel_degenerates_to_event_exactly():
+    reference = run_result("event", channels=1)
+    sharded = run_result("sharded", channels=1)
+    assert sharded.__dict__ == reference.__dict__
+
+
+def test_sharded_multichannel_is_deterministic():
+    first = run_result("sharded", channels=2)
+    second = run_result("sharded", channels=2)
+    assert first.__dict__ == second.__dict__
+
+
+def test_sharded_conserves_served_work():
+    """Quantized completion *times* are approximate; the served work is
+    not — every request reaches its channel's controller exactly once."""
+    reference = run_result("event", channels=2)
+    sharded = run_result("sharded", channels=2)
+    assert sharded.dram_requests == reference.dram_requests
+    assert sharded.reads == reference.reads
+    assert sharded.writes == reference.writes
+    assert len(sharded.per_channel) == 2
+    assert (
+        sum(c.requests for c in sharded.per_channel) == sharded.dram_requests
+    )
+    # per-channel routing is address-determined, identical across backends
+    assert [c.requests for c in sharded.per_channel] == [
+        c.requests for c in reference.per_channel
+    ]
+
+
+def test_sharded_quantum_controls_completion_quantization():
+    coarse = run_result("sharded", channels=2, params={"quantum": 400.0})
+    fine = run_result("sharded", channels=2, params={"quantum": 50.0})
+    # identical served work at both quanta...
+    assert coarse.dram_requests == fine.dram_requests
+    # ...but the coarser barrier stretches the core-visible run
+    assert coarse.elapsed_ns > fine.elapsed_ns
+
+
+def test_sharded_rejects_until_stepping():
+    system = build_system(
+        DesignPoint(design="tprac", nrh=1024),
+        homogeneous_traces("433.milc", cores=2, num_accesses=40, seed=0),
+        system=SystemConfig(channels=2, engine="sharded"),
+    )
+    try:
+        with pytest.raises(ValueError, match="until"):
+            system.run(until=500.0)
+    finally:
+        system.memory.close()
+
+
+def test_sharded_rejects_shared_telemetry():
+    with pytest.raises(ValueError, match="trace"):
+        build_system(
+            DesignPoint(design="tprac", nrh=1024),
+            homogeneous_traces("433.milc", cores=2, num_accesses=40, seed=0),
+            system=SystemConfig(channels=2, engine="sharded", trace=True),
+        )
+
+
+def test_sharded_rejects_live_controller_access_before_run():
+    system = build_system(
+        DesignPoint(design="tprac", nrh=1024),
+        homogeneous_traces("433.milc", cores=2, num_accesses=40, seed=0),
+        system=SystemConfig(channels=2, engine="sharded"),
+    )
+    try:
+        with pytest.raises(RuntimeError, match="after run"):
+            system.memory.controllers
+    finally:
+        system.memory.close()

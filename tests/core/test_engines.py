@@ -1,0 +1,231 @@
+"""Tests for the ENGINES registry and backend-built engine semantics.
+
+Two layers:
+
+* registry contract — backend construction by name, uniform error
+  messages for unknown names and bad params, the default backend's
+  serialization invisibility, and the numpy isolation guarantee (the
+  default path must never import numpy; ``engine="batched"`` without
+  numpy must raise the registry-uniform error naming the extra).
+* engine semantics, parametrized over **every registered backend** —
+  whichever :class:`~repro.core.engine.Engine` a backend hands out must
+  satisfy the ``run(until=, max_events=)``, cancel and RepeatingTimer
+  contracts that the epoch-barrier and wake machinery lean on.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.engines import DEFAULT_ENGINE, ENGINES, EngineBackend
+
+
+def all_backend_names():
+    return ENGINES.available()
+
+
+# ----------------------------------------------------------------------
+# Registry contract
+# ----------------------------------------------------------------------
+def test_registry_lists_all_backends():
+    names = ENGINES.available()
+    assert "event" in names
+    assert "batched" in names
+    assert "sharded" in names
+
+
+def test_default_engine_is_event_and_serializes_to_nothing():
+    assert DEFAULT_ENGINE == "event"
+    assert "engine" not in SystemConfig().to_dict()
+    assert isinstance(SystemConfig().make_engine(), EngineBackend)
+
+
+def test_unknown_engine_name_uniform_error():
+    with pytest.raises(ValueError, match="engine"):
+        SystemConfig(engine="warp").validate()
+
+
+def test_bad_engine_params_name_the_field():
+    with pytest.raises(ValueError, match="quantum"):
+        SystemConfig(engine="sharded", engine_params={"quantum": -1}).make_engine()
+    with pytest.raises(ValueError, match="min_banks"):
+        SystemConfig(engine="batched", engine_params={"min_banks": 0}).make_engine()
+
+
+def test_event_backend_is_base_class():
+    backend = ENGINES.make("event")
+    assert type(backend) is EngineBackend
+    assert backend.name == "event"
+    assert not backend.shards_channels(8)
+
+
+def test_sharded_backend_shards_only_multichannel():
+    backend = ENGINES.make("sharded")
+    assert not backend.shards_channels(1)
+    assert backend.shards_channels(2)
+
+
+# ----------------------------------------------------------------------
+# numpy isolation (the [accel] extra)
+# ----------------------------------------------------------------------
+def test_default_path_never_imports_numpy():
+    """Building and running a default system must not pull in numpy."""
+    code = (
+        "import sys\n"
+        "from repro.experiments.common import DesignPoint, build_system, "
+        "homogeneous_traces\n"
+        "system = build_system(DesignPoint(design='tprac', nrh=1024),"
+        "homogeneous_traces('433.milc', cores=1, num_accesses=50, seed=0))\n"
+        "system.run()\n"
+        "assert 'numpy' not in sys.modules, 'default path imported numpy'\n"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+def test_batched_fallback_never_imports_numpy():
+    """engine_params={'numpy': False} must stay numpy-free too."""
+    code = (
+        "import sys\n"
+        "from repro.config import SystemConfig\n"
+        "from repro.experiments.common import DesignPoint, build_system, "
+        "homogeneous_traces\n"
+        "system = build_system(DesignPoint(design='tprac', nrh=1024),"
+        "homogeneous_traces('433.milc', cores=1, num_accesses=50, seed=0),"
+        "system=SystemConfig(engine='batched', engine_params={'numpy': False}))\n"
+        "system.run()\n"
+        "assert 'numpy' not in sys.modules, 'fallback path imported numpy'\n"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+def test_batched_without_numpy_raises_registry_uniform_error():
+    """With numpy unimportable, engine='batched' must raise a ValueError
+    naming the config field, the missing dep and the [accel] extra."""
+    code = (
+        "import sys\n"
+        "sys.modules['numpy'] = None\n"  # poison the import
+        "from repro.config import SystemConfig\n"
+        "try:\n"
+        "    SystemConfig(engine='batched').make_engine()\n"
+        "except ValueError as exc:\n"
+        "    text = str(exc)\n"
+        "    assert 'batched' in text and 'numpy' in text, text\n"
+        "    assert 'repro[accel]' in text, text\n"
+        "    assert \"engine_params={'numpy': False}\" in text, text\n"
+        "else:\n"
+        "    raise SystemExit('expected ValueError')\n"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)
+
+
+# ----------------------------------------------------------------------
+# Engine semantics, over every registered backend
+# ----------------------------------------------------------------------
+@pytest.fixture(params=all_backend_names())
+def engine(request):
+    backend = ENGINES.make(request.param)
+    return backend.make_engine()
+
+
+def test_run_until_advances_clock_on_drain(engine):
+    fired = []
+    engine.schedule(5.0, lambda: fired.append(engine.now))
+    engine.run(until=100.0)
+    assert fired == [5.0]
+    # the clock must land on the horizon even though the queue drained
+    assert engine.now == 100.0
+
+
+def test_run_until_is_inclusive(engine):
+    fired = []
+    engine.schedule(10.0, lambda: fired.append("at-horizon"))
+    engine.schedule(10.0 + 1e-9, lambda: fired.append("past-horizon"))
+    engine.run(until=10.0)
+    assert fired == ["at-horizon"]
+    assert engine.now == 10.0
+
+
+def test_run_until_in_the_past_is_a_noop(engine):
+    engine.schedule(1.0, lambda: None)
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+    fired = []
+    engine.schedule(6.0, lambda: fired.append(True))
+    engine.run(until=2.0)  # horizon behind the clock: nothing may fire
+    assert fired == []
+    assert engine.now == 5.0
+
+
+def test_run_resumes_across_epoch_boundaries(engine):
+    """Repeated run(until=) calls — the epoch-barrier access pattern —
+    must fire every event exactly once, in time order."""
+    fired = []
+    for t in (2.5, 7.5, 12.5, 17.5):
+        engine.schedule(t, lambda t=t: fired.append(t))
+    for boundary in (5.0, 10.0, 15.0, 20.0):
+        engine.run(until=boundary)
+        assert engine.now == boundary
+    assert fired == [2.5, 7.5, 12.5, 17.5]
+
+
+def test_max_events_caps_firing(engine):
+    fired = []
+    for t in range(5):
+        engine.schedule(float(t), lambda t=t: fired.append(t))
+    engine.run(max_events=2)
+    assert fired == [0, 1]
+    engine.run(max_events=None)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_request_stop_freezes_clock(engine):
+    fired = []
+
+    def stopper():
+        fired.append(engine.now)
+        engine.request_stop()
+
+    engine.schedule(3.0, stopper)
+    engine.schedule(9.0, lambda: fired.append(engine.now))
+    engine.run(until=50.0)
+    # stop exits before the horizon advance: the stopper wants the
+    # clock frozen at the stopping event
+    assert engine.now == 3.0
+    engine.run(until=50.0)
+    assert fired == [3.0, 9.0]
+    assert engine.now == 50.0
+
+
+def test_cancel_before_and_during_run(engine):
+    fired = []
+    doomed = engine.schedule(5.0, lambda: fired.append("doomed"))
+    victim = engine.schedule(7.0, lambda: fired.append("victim"))
+    engine.schedule(6.0, victim.cancel)
+    doomed.cancel()
+    engine.schedule(8.0, lambda: fired.append("survivor"))
+    engine.run(until=20.0)
+    assert fired == ["survivor"]
+    # cancelling an already-fired event must be a harmless no-op
+    doomed.cancel()
+    victim.cancel()
+
+
+def test_repeating_timer_fires_on_period_and_stops(engine):
+    fired = []
+    timer = engine.every(10.0, lambda: fired.append(engine.now))
+    engine.run(until=35.0)
+    assert fired == [10.0, 20.0, 30.0]
+    timer.stop()
+    engine.run(until=100.0)
+    assert fired == [10.0, 20.0, 30.0]
+    assert engine.now == 100.0
+
+
+def test_repeating_timer_stop_from_inside_callback(engine):
+    """stop() from within the callback must prevent the re-arm."""
+    fired = []
+    timer = engine.every(10.0, lambda: (fired.append(engine.now), timer.stop()))
+    engine.run(until=100.0)
+    assert fired == [10.0]
